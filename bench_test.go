@@ -1,0 +1,165 @@
+package newton
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the corresponding result via the experiment
+// harness and reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. cmd/newton-bench prints the full
+// tables; these benchmarks track the numbers over time.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/baselines"
+	"github.com/newton-net/newton/internal/experiments"
+)
+
+// BenchmarkTable3Resources regenerates Table 3 (per-stage, per-module,
+// per-primitive resource utilization).
+func BenchmarkTable3Resources(b *testing.B) {
+	var compactCrossbar float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3()
+		compactCrossbar = r.PerStageCompact[0]
+	}
+	b.ReportMetric(compactCrossbar*100, "compact-crossbar-%")
+}
+
+// BenchmarkFig10Interruption regenerates Fig. 10 (Sonata outage vs
+// Newton's uninterrupted updates).
+func BenchmarkFig10Interruption(b *testing.B) {
+	var outage time.Duration
+	var newtonDropped uint64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10Interruption(1000, 30, 20000)
+		outage = r.SonataOutage
+		newtonDropped = r.NewtonDropped
+	}
+	b.ReportMetric(outage.Seconds(), "sonata-outage-s")
+	b.ReportMetric(float64(newtonDropped), "newton-dropped-pkts")
+}
+
+// BenchmarkFig11OperationDelay regenerates Fig. 11 (install/remove
+// latency of the nine queries).
+func BenchmarkFig11OperationDelay(b *testing.B) {
+	var q1Avg, maxAvg time.Duration
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11OperationDelay(100)
+		q1Avg = r.Rows[0].InstallAvg
+		for _, row := range r.Rows {
+			if row.InstallAvg > maxAvg {
+				maxAvg = row.InstallAvg
+			}
+		}
+	}
+	b.ReportMetric(float64(q1Avg)/1e6, "q1-install-ms")
+	b.ReportMetric(float64(maxAvg)/1e6, "max-install-ms")
+}
+
+// BenchmarkFig12Overhead regenerates Fig. 12 (monitoring overhead of six
+// systems on two traces).
+func BenchmarkFig12Overhead(b *testing.B) {
+	var newton, turbo float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12Overhead(2000, 400*time.Millisecond)
+		for _, row := range r.Rows {
+			if row.Trace != "CAIDA" {
+				continue
+			}
+			switch row.System {
+			case baselines.Newton:
+				newton = row.Overhead
+			case baselines.TurboFlow:
+				turbo = row.Overhead
+			}
+		}
+	}
+	b.ReportMetric(newton, "newton-msgs/pkt")
+	b.ReportMetric(turbo/newton, "turboflow-vs-newton-x")
+}
+
+// BenchmarkFig13CQE regenerates Fig. 13 (network-wide overhead vs hop
+// count).
+func BenchmarkFig13CQE(b *testing.B) {
+	var newtonGrowth, sonataGrowth float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13CQEOverhead(5)
+		first := map[baselines.System]int{}
+		last := map[baselines.System]int{}
+		for _, row := range r.Rows {
+			if row.Hops == 1 {
+				first[row.System] = row.Messages
+			}
+			if row.Hops == 5 {
+				last[row.System] = row.Messages
+			}
+		}
+		newtonGrowth = float64(last[baselines.Newton]) / float64(first[baselines.Newton])
+		sonataGrowth = float64(last[baselines.Sonata]) / float64(first[baselines.Sonata])
+	}
+	b.ReportMetric(newtonGrowth, "newton-5hop-growth-x")
+	b.ReportMetric(sonataGrowth, "sonata-5hop-growth-x")
+}
+
+// BenchmarkFig14Accuracy regenerates Fig. 14 (accuracy vs registers,
+// Sonata vs Newton_h).
+func BenchmarkFig14Accuracy(b *testing.B) {
+	var sonata256, newton3x256 float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14Accuracy([]uint32{256, 1024, 4096}, 3)
+		for _, row := range r.Rows {
+			if row.Registers != 256 {
+				continue
+			}
+			switch row.System {
+			case "Sonata":
+				sonata256 = row.Accuracy
+			case "Newton_3":
+				newton3x256 = row.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(sonata256, "sonata-acc@256")
+	b.ReportMetric(newton3x256, "newton3-acc@256")
+	if sonata256 > 0 {
+		b.ReportMetric(newton3x256/sonata256, "improvement-x")
+	}
+}
+
+// BenchmarkFig15Compilation regenerates Fig. 15 / Fig. 7 (compilation
+// optimization across the nine queries).
+func BenchmarkFig15Compilation(b *testing.B) {
+	var minMod, minStg float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig15Compilation()
+		minMod, minStg = r.MinModuleReduction, r.MinStageReduction
+	}
+	b.ReportMetric(minMod*100, "min-module-reduction-%")
+	b.ReportMetric(minStg*100, "min-stage-reduction-%")
+}
+
+// BenchmarkFig16Multiplexing regenerates Fig. 16 (concurrent Q4 copies).
+func BenchmarkFig16Multiplexing(b *testing.B) {
+	var pRules100, sModules100 int
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig16Multiplexing([]int{1, 100})
+		pRules100 = r.Rows[1].PNewtonRules
+		sModules100 = r.Rows[1].SNewtonModules
+	}
+	b.ReportMetric(float64(pRules100), "p-newton-rules@100")
+	b.ReportMetric(float64(sModules100), "s-newton-modules@100")
+}
+
+// BenchmarkFig17Placement regenerates Fig. 17 (network-wide placement of
+// Q4 on fat-trees and the ISP backbone).
+func BenchmarkFig17Placement(b *testing.B) {
+	var avgAtScale float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig17Placement()
+		avgAtScale = r.B[len(r.B)-1].Avg
+	}
+	b.ReportMetric(avgAtScale, "avg-entries-largest-fattree")
+}

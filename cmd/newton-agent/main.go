@@ -1,0 +1,101 @@
+// newton-agent runs one simulated Newton switch as a standalone process:
+// it loads the module layout, replays packets from a pcap through the
+// pipeline, and serves the control channel so a remote controller can
+// install, remove, and drain queries over TCP.
+//
+// Usage:
+//
+//	newton-agent -listen 127.0.0.1:9441 -pcap trace.pcap -loop 3
+//
+// Then, from another process, dial 127.0.0.1:9441 with internal/rpc (or
+// drive it from tests) to deploy queries while traffic flows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:9441", "control-channel listen address")
+		name      = flag.String("name", "sw1", "switch identifier in reports")
+		stages    = flag.Int("stages", 16, "module pipeline stages")
+		arraySize = flag.Uint("registers", 1<<15, "registers per state bank")
+		pcapPath  = flag.String("pcap", "", "pcap to replay through the pipeline ('' = control plane only)")
+		loop      = flag.Int("loop", 1, "times to replay the pcap")
+		window    = flag.Duration("window", 100*time.Millisecond, "evaluation window (register epoch)")
+		gap       = flag.Duration("gap", 0, "real-time pause between replay loops")
+	)
+	flag.Parse()
+
+	layout, err := modules.NewLayout(modules.LayoutCompact, *stages, uint32(*arraySize))
+	if err != nil {
+		log.Fatalf("newton-agent: %v", err)
+	}
+	eng := modules.NewEngine(layout)
+	sw := dataplane.NewSwitch(*name, *stages, modules.StageCapacity())
+	if err := sw.AddRoute(0, 0, 1); err != nil {
+		log.Fatal(err)
+	}
+	sw.Monitor = eng
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("newton-agent: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "newton-agent: %s serving control channel on %s\n", *name, ln.Addr())
+	agent := rpc.NewAgent(sw, eng)
+	go func() {
+		if err := agent.Serve(ln); err != nil {
+			log.Fatalf("newton-agent: %v", err)
+		}
+	}()
+
+	if *pcapPath == "" {
+		select {} // control plane only; serve until killed
+	}
+
+	f, err := os.Open(*pcapPath)
+	if err != nil {
+		log.Fatalf("newton-agent: %v", err)
+	}
+	pkts, skipped, err := trace.ReadPcap(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("newton-agent: reading pcap: %v", err)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "newton-agent: skipped %d undecodable packets\n", skipped)
+	}
+
+	for l := 0; l < *loop; l++ {
+		nextEpoch := uint64(*window)
+		for _, pkt := range pkts {
+			for pkt.TS >= nextEpoch {
+				layout.Pipeline().NextEpoch()
+				nextEpoch += uint64(*window)
+			}
+			sw.Process(pkt)
+		}
+		layout.Pipeline().NextEpoch()
+		c := sw.Counters()
+		fmt.Fprintf(os.Stderr, "newton-agent: loop %d/%d done (rx=%d tx=%d dropped=%d, %d reports pending)\n",
+			l+1, *loop, c.Rx, c.Tx, c.Dropped, sw.PendingReports())
+		if *gap > 0 {
+			time.Sleep(*gap)
+		}
+	}
+	// Keep serving so the controller can drain the final reports.
+	fmt.Fprintln(os.Stderr, "newton-agent: replay complete; control channel stays up (ctrl-c to exit)")
+	select {}
+}

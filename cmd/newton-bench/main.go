@@ -1,0 +1,73 @@
+// newton-bench regenerates the paper's evaluation tables and figures
+// from the command line.
+//
+// Usage:
+//
+//	newton-bench -list
+//	newton-bench -run all
+//	newton-bench -run fig12,fig15 -flows 2000 -trials 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/newton-net/newton/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "all", "comma-separated experiments to run, or 'all'")
+		trials = flag.Int("trials", 100, "trials for fig11")
+		flows  = flag.Int("flows", 3000, "background flows for trace-driven experiments")
+		dur    = flag.Duration("duration", 500*time.Millisecond, "trace duration (virtual time)")
+		hops   = flag.Int("hops", 5, "maximum hop count for fig13")
+	)
+	flag.Parse()
+
+	suite := map[string]func() fmt.Stringer{
+		"table3":   func() fmt.Stringer { return experiments.Table3() },
+		"ablation": func() fmt.Stringer { return experiments.Ablation() },
+		"fig10":    func() fmt.Stringer { return experiments.Fig10Interruption(2000, 40, 20000) },
+		"fig11":    func() fmt.Stringer { return experiments.Fig11OperationDelay(*trials) },
+		"fig12":    func() fmt.Stringer { return experiments.Fig12Overhead(*flows, *dur) },
+		"fig13":    func() fmt.Stringer { return experiments.Fig13CQEOverhead(*hops) },
+		"fig14":    func() fmt.Stringer { return experiments.Fig14Accuracy(nil, 3) },
+		"fig15":    func() fmt.Stringer { return experiments.Fig15Compilation() },
+		"fig16":    func() fmt.Stringer { return experiments.Fig16Multiplexing(nil) },
+		"fig17":    func() fmt.Stringer { return experiments.Fig17Placement() },
+	}
+	names := make([]string, 0, len(suite))
+	for n := range suite {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if *list {
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	selected := names
+	if *run != "all" {
+		selected = strings.Split(*run, ",")
+	}
+	for _, name := range selected {
+		name = strings.TrimSpace(name)
+		exp, ok := suite[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "newton-bench: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		result := exp()
+		fmt.Printf("=== %s (took %v) ===\n%s\n", name, time.Since(start).Round(time.Millisecond), result)
+	}
+}

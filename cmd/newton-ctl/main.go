@@ -1,0 +1,183 @@
+// newton-ctl is a demonstration controller shell: it builds a simulated
+// deployment, installs queries from the Table 2 catalog (or replays a
+// pcap through them), and prints what the data plane reports.
+//
+// Usage:
+//
+//	newton-ctl -topology linear:3 -queries q1,q4,q6 -flows 2000
+//	newton-ctl -topology fattree:4 -queries q4 -mode partition -stages 8
+//	newton-ctl -queries q1 -pcap trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/newton-net/newton/internal/analyzer"
+	"github.com/newton-net/newton/internal/controller"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/topology"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+func main() {
+	var (
+		topoSpec = flag.String("topology", "linear:3", "topology: linear:N, fattree:K, or isp")
+		queries  = flag.String("queries", "q1", "comma-separated catalog queries (q1..q9)")
+		expr     = flag.String("expr", "", "ad-hoc intent in the query DSL, e.g. 'filter(proto == udp) | reduce(dip, sum) | filter(result > 100)'")
+		mode     = flag.String("mode", "replicate", "deployment mode: replicate, shard, partition")
+		stages   = flag.Int("stages", 6, "stages per switch for partition mode")
+		flows    = flag.Int("flows", 2000, "background flows of the generated workload")
+		dur      = flag.Duration("duration", 300*time.Millisecond, "workload duration")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		pcapPath = flag.String("pcap", "", "replay a pcap instead of generating a workload")
+		attacks  = flag.Bool("attacks", true, "inject the full attack mix into generated workloads")
+	)
+	flag.Parse()
+
+	topo, h1, h2 := buildTopology(*topoSpec)
+	net, err := netsim.New(topo, netsim.Config{Stages: 16, ArraySize: 1 << 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := controller.NewNewton(net, *seed)
+
+	m := map[string]controller.Mode{
+		"replicate": controller.Replicate,
+		"shard":     controller.Shard,
+		"partition": controller.Partition,
+	}[strings.ToLower(*mode)]
+
+	var wanted []*query.Query
+	if *expr != "" {
+		q, err := query.Parse("adhoc", *expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wanted = append(wanted, q)
+	} else {
+		for _, name := range strings.Split(*queries, ",") {
+			q, err := query.ByName(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			wanted = append(wanted, q)
+		}
+	}
+	installed := map[int]*query.Query{}
+	for _, q := range wanted {
+		spec := controller.Spec{Query: q, Mode: m}
+		if m == controller.Partition {
+			spec.StagesPerSwitch = *stages
+		}
+		dep, delay, err := ctl.Install(spec)
+		if err != nil {
+			log.Fatalf("installing %s: %v", q.Name, err)
+		}
+		installed[dep.QID] = q
+		fmt.Printf("installed %-26s qid=%d mode=%-9s switches=%-3d rules=%-4d delay=%v\n",
+			q.Name, dep.QID, dep.Mode, len(dep.Switches), dep.Rules, delay.Round(time.Microsecond))
+	}
+
+	var pkts []*packet.Packet
+	if *pcapPath != "" {
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		pkts, _, err = trace.ReadPcap(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replaying %d packets from %s\n", len(pkts), *pcapPath)
+	} else {
+		var overlays []trace.Overlay
+		if *attacks {
+			overlays = []trace.Overlay{
+				trace.SYNFlood{Victim: 0x0A0000AA, Packets: 600},
+				trace.UDPFlood{Victim: 0x0A0000AB, Sources: 150},
+				trace.PortScan{Scanner: 0x0B000001, Victim: 0x0A0000AC, Ports: 200},
+				trace.SSHBrute{Victim: 0x0A0000AD, Attempts: 100},
+				trace.Slowloris{Victim: 0x0A0000AE, Conns: 150},
+				trace.DNSNoTCP{Hosts: 4, Queries: 30},
+				trace.SuperSpreader{Source: 0x0B000002, Fanout: 200},
+			}
+		}
+		tr := trace.Generate(trace.Config{Seed: *seed, Flows: *flows, Duration: *dur}, overlays...)
+		pkts = tr.Packets
+		fmt.Printf("generated %d packets (%d flows, %v)\n", len(pkts), *flows, *dur)
+	}
+
+	for _, pkt := range pkts {
+		net.Deliver(pkt, h1, h2)
+	}
+	delivered, dropped := net.Stats()
+	fmt.Printf("delivered %d packets, dropped %d\n\n", delivered, dropped)
+
+	reports := net.DrainReports()
+	byQID := map[int][]int{}
+	for i, r := range reports {
+		byQID[r.QueryID] = append(byQID[r.QueryID], i)
+	}
+	for qid, idxs := range byQID {
+		q := installed[qid]
+		if q == nil {
+			continue
+		}
+		col := analyzer.NewCollector(uint64(q.Window), q.ReportKeys())
+		for _, i := range idxs {
+			col.Add(reports[i])
+		}
+		fmt.Printf("%s: %d reports, flagged:", q.Name, col.Raw)
+		for k := range col.FlaggedKeys() {
+			fmt.Printf(" %d.%d.%d.%d", k>>24&0xFF, k>>16&0xFF, k>>8&0xFF, k&0xFF)
+		}
+		fmt.Println()
+	}
+}
+
+func buildTopology(spec string) (*topology.Topology, int, int) {
+	parts := strings.SplitN(spec, ":", 2)
+	arg := 0
+	if len(parts) == 2 {
+		var err error
+		arg, err = strconv.Atoi(parts[1])
+		if err != nil {
+			log.Fatalf("newton-ctl: bad topology %q", spec)
+		}
+	}
+	switch parts[0] {
+	case "linear":
+		if arg == 0 {
+			arg = 3
+		}
+		return topology.Linear(arg)
+	case "fattree":
+		if arg == 0 {
+			arg = 4
+		}
+		topo := topology.FatTree(arg)
+		hosts := topo.Hosts()
+		return topo, hosts[0], hosts[len(hosts)-1]
+	case "isp":
+		topo := topology.ISPBackbone()
+		// Attach hosts to two coastal POPs for end-to-end delivery.
+		sf := topo.NodeByName("SanFrancisco")
+		ny := topo.NodeByName("NewYork")
+		h1 := topo.AddNode("h_sf", topology.Host)
+		h2 := topo.AddNode("h_ny", topology.Host)
+		topo.AddLink(sf, h1)
+		topo.AddLink(ny, h2)
+		return topo, h1, h2
+	}
+	log.Fatalf("newton-ctl: unknown topology %q", spec)
+	return nil, 0, 0
+}

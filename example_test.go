@@ -1,0 +1,84 @@
+package newton_test
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/newton-net/newton"
+)
+
+// ExampleCompile shows a query's data-plane footprint: how many module
+// instances, physical stages, and table rules the intent costs.
+func ExampleCompile() {
+	q := newton.Q1(40) // newly opened TCP connections
+	p, err := newton.Compile(q, newton.DefaultCompileOptions())
+	if err != nil {
+		panic(err)
+	}
+	s := newton.MeasureProgram(q, p)
+	fmt.Printf("primitives=%d modules=%d stages=%d rules=%d\n",
+		s.Primitives, s.Modules, s.Stages, s.Rules)
+	// Output: primitives=4 modules=9 stages=6 rules=10
+}
+
+// ExampleNewQuery builds an intent with the Spark-style builder and
+// renders it back as query source.
+func ExampleNewQuery() {
+	q := newton.NewQuery("ssh_watch").
+		Filter(newton.Eq(newton.FieldProto, newton.ProtoTCP),
+			newton.Eq(newton.FieldDstPort, 22)).
+		Map(newton.FieldDstIP).
+		ReduceCount(newton.FieldDstIP).
+		FilterResultGt(100).
+		Build()
+	fmt.Println(q.NumPrimitives(), "primitives, threshold", q.Threshold())
+	// Output: 4 primitives, threshold 100
+}
+
+// ExamplePlaceResilient partitions a 10-stage query over 5-stage
+// switches in a fat-tree and shows the redundancy Algorithm 2 buys.
+func ExamplePlaceResilient() {
+	topo := newton.FatTreeTopology(4)
+	pl, parts, err := newton.PlaceResilient(topo, topo.EdgeSwitches(), 10, 5)
+	if err != nil {
+		panic(err)
+	}
+	perPart := map[int]int{}
+	for _, ps := range pl {
+		for _, p := range ps {
+			perPart[p]++
+		}
+	}
+	keys := make([]int, 0, len(perPart))
+	for k := range perPart {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Printf("%d partitions over %d switches\n", parts, len(pl))
+	for _, k := range keys {
+		fmt.Printf("partition %d on %d switches\n", k, perPart[k])
+	}
+	// Output:
+	// 2 partitions over 16 switches
+	// partition 0 on 8 switches
+	// partition 1 on 8 switches
+}
+
+// ExampleQueryByName pulls an evaluation query from the Table 2 catalog.
+func ExampleQueryByName() {
+	q, _ := newton.QueryByName("q6")
+	fmt.Println(q.Name, "-", q.Description)
+	// Output: q6_syn_flood - Monitor hosts under SYN flood attacks
+}
+
+// ExampleParseQuery shows the textual intent DSL operators use through
+// newton-ctl.
+func ExampleParseQuery() {
+	q, err := newton.ParseQuery("ssh_watch",
+		"filter(proto == tcp && dport == 22) | map(dip) | reduce(dip, sum) | filter(result > 100)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.NumPrimitives(), "primitives, threshold", q.Threshold())
+	// Output: 4 primitives, threshold 100
+}

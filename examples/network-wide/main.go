@@ -1,0 +1,97 @@
+// Network-wide monitoring with resilient placement and cross-switch
+// execution.
+//
+// A port-scan detector (the paper's Q4) is partitioned over the switches
+// of a 4-ary fat-tree via Algorithm 2: every possible path out of the
+// monitored edge switches traverses the query's partitions in order, so
+// a link failure that reroutes traffic never blinds the query. The demo
+// verifies exactly that: detect a scan, fail a link on the active path,
+// and detect the next scan on the rerouted path — with no placement
+// recomputation.
+//
+// Run with: go run ./examples/network-wide
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/newton-net/newton"
+)
+
+func main() {
+	topo := newton.FatTreeTopology(4)
+	net, err := newton.NewNetwork(topo, newton.NetworkConfig{Stages: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := newton.NewController(net, 11)
+
+	// Deploy Q4 partitioned: each switch contributes 8 module stages, so
+	// the query spans 2 switches and Algorithm 2 places partition d on
+	// every switch at DFS depth d from the edge layer.
+	q := newton.Q4(40)
+	dep, delay, err := ctl.Install(newton.Deploy{
+		Query:           q,
+		Mode:            newton.ModePartition,
+		StagesPerSwitch: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %q over %d switches in %v: %d partitions, %d table rules network-wide\n",
+		q.Name, len(dep.Switches), delay.Round(time.Microsecond), dep.Parts, dep.Rules)
+
+	hosts := topo.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1] // cross-pod pair
+	scanVictim := uint32(0x0A000063)          // 10.0.0.99
+
+	scan := func(label string, seed int64, baseTS uint64) []int {
+		tr := newton.GenerateTrace(newton.TraceConfig{Seed: seed, Flows: 200, Duration: 90 * time.Millisecond},
+			newton.PortScan{Scanner: 0x0B000001, Victim: scanVictim, Ports: 120})
+		var path []int
+		for _, pkt := range tr.Packets {
+			pkt.TS += baseTS
+			p, ok := net.Deliver(pkt, src, dst)
+			if ok && pkt.TCP != nil && pkt.IP.Dst == scanVictim {
+				path = p
+			}
+		}
+		col := newton.NewCollector(q.Window, q.ReportKeys())
+		col.AddAll(net.DrainReports())
+		if !col.FlaggedKeys()[uint64(scanVictim)] {
+			log.Fatalf("%s: scan NOT detected", label)
+		}
+		fmt.Printf("%s: port scan against 10.0.0.99 detected (attack path: %s)\n", label, pathNames(topo, path))
+		return path
+	}
+
+	// Round 1: detect on the original path.
+	path := scan("round 1", 21, 0)
+
+	// Fail the first inter-switch link of the attack path.
+	if len(path) < 2 {
+		log.Fatal("attack path too short to fail a link")
+	}
+	topo.SetLink(path[0], path[1], false)
+	fmt.Printf("link failed: %s — %s (traffic reroutes; placement untouched)\n",
+		topo.Node(path[0]).Name, topo.Node(path[1]).Name)
+
+	// Round 2: the rerouted path still carries both partitions in order.
+	path2 := scan("round 2", 22, uint64(200*time.Millisecond))
+	if pathNames(topo, path) == pathNames(topo, path2) {
+		log.Fatal("traffic did not reroute — the demo proves nothing")
+	}
+}
+
+func pathNames(topo *newton.Topology, path []int) string {
+	s := ""
+	for i, id := range path {
+		if i > 0 {
+			s += " -> "
+		}
+		s += topo.Node(id).Name
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+// Quickstart: one switch, one intent.
+//
+// This example builds a single-switch network, expresses the intent
+// "tell me which hosts are under SYN-flood attack" as a stream query,
+// installs it at runtime, replays a synthetic workload containing a
+// flood, and prints the victims the data plane reports.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/newton-net/newton"
+)
+
+func main() {
+	// A line topology with one switch between two hosts.
+	topo, h1, h2 := newton.LinearTopology(1)
+	net, err := newton.NewNetwork(topo, newton.NetworkConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := newton.NewController(net, 42)
+
+	// The intent, written with the Spark-style builder. (newton.Q6(30)
+	// builds the paper's three-branch version; this is the single-branch
+	// form for clarity.)
+	q := newton.NewQuery("syn_flood_victims").
+		Describe("hosts receiving more than 40 SYNs per 100ms window").
+		Filter(newton.Eq(newton.FieldProto, newton.ProtoTCP),
+			newton.Eq(newton.FieldTCPFlags, newton.FlagSYN)).
+		Map(newton.FieldDstIP).
+		ReduceCount(newton.FieldDstIP).
+		FilterResultGt(40).
+		Build()
+
+	dep, delay, err := ctl.Install(newton.Deploy{Query: q})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed %q as query %d in %v (%d table rules) — no reboot, no packet loss\n",
+		q.Name, dep.QID, delay.Round(time.Microsecond), dep.Rules)
+
+	// A workload: realistic background traffic plus a SYN flood against
+	// 10.0.0.170.
+	victim := uint32(0x0A0000AA)
+	tr := newton.GenerateTrace(newton.TraceConfig{Seed: 7, Flows: 500, Duration: 300 * time.Millisecond},
+		newton.SYNFlood{Victim: victim, Packets: 600})
+	for _, pkt := range tr.Packets {
+		net.Deliver(pkt, h1, h2)
+	}
+	delivered, dropped := net.Stats()
+	fmt.Printf("replayed %d packets (%d delivered, %d dropped)\n", len(tr.Packets), delivered, dropped)
+
+	// The switch mirrors one report per flagged victim per window.
+	col := newton.NewCollector(q.Window, q.ReportKeys())
+	col.AddAll(net.DrainReports())
+	fmt.Printf("data plane mirrored %d reports\n", col.Raw)
+	for key := range col.FlaggedKeys() {
+		fmt.Printf("  SYN-flood victim: %d.%d.%d.%d\n",
+			key>>24&0xFF, key>>16&0xFF, key>>8&0xFF, key&0xFF)
+	}
+
+	// And the query leaves as easily as it arrived.
+	rm, err := ctl.Remove(dep.QID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removed query %d in %v\n", dep.QID, rm.Round(time.Microsecond))
+}

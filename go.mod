@@ -1,0 +1,3 @@
+module github.com/newton-net/newton
+
+go 1.22

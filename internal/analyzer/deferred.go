@@ -1,0 +1,90 @@
+package analyzer
+
+import (
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/query"
+)
+
+// DeferredTail executes the software half of a query whose forwarding
+// path has fewer hops than the query has partitions (§5.2: "Newton
+// defers the remaining part of the query to the software analyzer. The
+// switches will report the current execution status, and the software
+// analyzer will continue executing the query").
+//
+// The "execution status" is the result-snapshot header still on the
+// packet when it leaves the last switch: the state results and the
+// running global result. Operation keys are recomputed from the packet
+// headers, exactly as a downstream switch partition would. The tail then
+// applies the query's threshold and emits deduplicated alerts.
+type DeferredTail struct {
+	q      *query.Query
+	window uint64
+
+	alerted map[alertKeyT]bool
+	alerts  []Alert
+	// Packets counts snapshots handed to the tail (the CPU-load metric
+	// the paper's scalability argument is about).
+	Packets int
+}
+
+type alertKeyT struct {
+	win uint64
+	key uint64
+}
+
+// NewDeferredTail builds the software tail for q.
+func NewDeferredTail(q *query.Query) *DeferredTail {
+	if err := q.Validate(); err != nil {
+		panic("analyzer: invalid query for deferred tail: " + err.Error())
+	}
+	return &DeferredTail{
+		q:       q,
+		window:  uint64(q.Window),
+		alerted: map[alertKeyT]bool{},
+	}
+}
+
+// Process consumes one packet that left the network still carrying a
+// result snapshot. It returns an alert if the carried global result
+// crosses the query's threshold for the first time this window.
+func (d *DeferredTail) Process(p *packet.Packet) (Alert, bool) {
+	if p.SP == nil {
+		return Alert{}, false
+	}
+	d.Packets++
+	mask := d.q.ReportKeys()
+	v := p.Fields()
+	key := singleKeyValue(mask, &v)
+	g := int64(int16(p.SP.Global))
+
+	var triggered bool
+	if m := d.q.Merge; m != nil {
+		triggered = m.Triggered(g)
+	} else {
+		th := d.q.Threshold()
+		triggered = th > 0 && g > int64(th)
+	}
+	if !triggered {
+		return Alert{}, false
+	}
+	ak := alertKeyT{win: p.TS / d.window, key: key}
+	if d.alerted[ak] {
+		return Alert{}, false
+	}
+	d.alerted[ak] = true
+	a := Alert{Window: ak.win, Key: key, Value: g}
+	d.alerts = append(d.alerts, a)
+	return a, true
+}
+
+// Alerts returns everything the tail has flagged.
+func (d *DeferredTail) Alerts() []Alert { return d.alerts }
+
+// FlaggedKeys returns the distinct keys flagged in any window.
+func (d *DeferredTail) FlaggedKeys() map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, a := range d.alerts {
+		out[a.Key] = true
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package analyzer
+
+import (
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/query"
+)
+
+func spPkt(ts uint64, dst uint32, global int16) *packet.Packet {
+	return &packet.Packet{
+		TS:  ts,
+		IP:  packet.IPv4{Proto: packet.ProtoTCP, Src: 1, Dst: dst},
+		TCP: &packet.TCP{SrcPort: 1, DstPort: 80, Flags: packet.FlagSYN},
+		SP:  &packet.SPHeader{QID: 1, Part: 1, Global: uint16(global)},
+	}
+}
+
+func TestDeferredTailThreshold(t *testing.T) {
+	d := NewDeferredTail(query.Q1(40))
+	if _, fired := d.Process(spPkt(1, 7, 40)); fired {
+		t.Error("at-threshold snapshot should not fire (threshold is strict)")
+	}
+	a, fired := d.Process(spPkt(2, 7, 41))
+	if !fired {
+		t.Fatal("above-threshold snapshot did not fire")
+	}
+	if a.Key != 7 || a.Value != 41 {
+		t.Errorf("alert = %+v", a)
+	}
+	// Dedup within the window.
+	if _, fired := d.Process(spPkt(3, 7, 42)); fired {
+		t.Error("same key re-alerted within the window")
+	}
+	// New window: alert again.
+	if _, fired := d.Process(spPkt(uint64(150*time.Millisecond), 7, 50)); !fired {
+		t.Error("next window did not re-alert")
+	}
+	if len(d.Alerts()) != 2 || !d.FlaggedKeys()[7] {
+		t.Errorf("accounting wrong: %v", d.Alerts())
+	}
+	if d.Packets != 4 {
+		t.Errorf("Packets = %d, want 4", d.Packets)
+	}
+}
+
+func TestDeferredTailIgnoresPlainPackets(t *testing.T) {
+	d := NewDeferredTail(query.Q1(40))
+	p := spPkt(1, 7, 100)
+	p.SP = nil
+	if _, fired := d.Process(p); fired {
+		t.Error("packet without snapshot fired")
+	}
+	if d.Packets != 0 {
+		t.Error("plain packet counted")
+	}
+}
+
+func TestDeferredTailMergeQuery(t *testing.T) {
+	// Q6's merge threshold applies to the carried (signed) global.
+	d := NewDeferredTail(query.Q6(30))
+	if _, fired := d.Process(spPkt(1, 9, 31)); !fired {
+		t.Error("merge threshold crossing not detected")
+	}
+	neg := spPkt(2, 10, 0)
+	var healthy int16 = -100 // acks dominate
+	neg.SP.Global = uint16(healthy)
+	if _, fired := d.Process(neg); fired {
+		t.Error("negative global fired")
+	}
+}
+
+func TestDeferredTailRejectsInvalidQuery(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid query accepted")
+		}
+	}()
+	NewDeferredTail(&query.Query{})
+}

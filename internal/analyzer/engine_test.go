@@ -1,0 +1,335 @@
+package analyzer
+
+import (
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+func TestQ1DetectsSYNFlood(t *testing.T) {
+	victim := uint32(0x0A0000AA)
+	tr := trace.Generate(trace.Config{Seed: 1, Flows: 300, Duration: 200 * time.Millisecond},
+		trace.SYNFlood{Victim: victim, Packets: 500})
+	e := NewEngine(query.Q1(40))
+	e.Run(tr.Packets)
+	if !e.FlaggedKeys()[uint64(victim)] {
+		t.Fatal("Q1 missed the SYN flood victim")
+	}
+}
+
+func TestQ1WindowReset(t *testing.T) {
+	// 30 SYNs in each of two windows: never crosses a threshold of 40.
+	e := NewEngine(query.Q1(40))
+	for w := uint64(0); w < 2; w++ {
+		for i := 0; i < 30; i++ {
+			e.Process(synPkt(w*uint64(100*time.Millisecond)+uint64(i), 7))
+		}
+	}
+	e.Flush()
+	if len(e.Alerts()) != 0 {
+		t.Fatalf("windowed counts leaked across windows: %v", e.Alerts())
+	}
+	// 60 SYNs within one window: exactly one alert at window close,
+	// carrying the window-final count.
+	e2 := NewEngine(query.Q1(40))
+	for i := 0; i < 60; i++ {
+		e2.Process(synPkt(uint64(i), 7))
+	}
+	e2.Flush()
+	if len(e2.Alerts()) != 1 {
+		t.Fatalf("got %d alerts, want 1 (per window)", len(e2.Alerts()))
+	}
+	a := e2.Alerts()[0]
+	if a.Key != 7 || a.Value != 60 {
+		t.Errorf("alert = %+v, want key 7 value 60", a)
+	}
+	// Flush is idempotent.
+	e2.Flush()
+	if len(e2.Alerts()) != 1 {
+		t.Error("double Flush duplicated alerts")
+	}
+}
+
+func synPkt(ts uint64, dst uint32) *packet.Packet {
+	return &packet.Packet{
+		TS: ts,
+		IP: packet.IPv4{Proto: packet.ProtoTCP, TTL: 64, Src: 1, Dst: dst},
+		TCP: &packet.TCP{SrcPort: 1000, DstPort: 80,
+			Flags: packet.FlagSYN},
+	}
+}
+
+func TestQ3SuperSpreader(t *testing.T) {
+	spreader := uint32(0xC0A80101)
+	tr := trace.Generate(trace.Config{Seed: 3, Flows: 100, Duration: 90 * time.Millisecond},
+		trace.SuperSpreader{Source: spreader, Fanout: 100})
+	e := NewEngine(query.Q3(40))
+	e.Run(tr.Packets)
+	if !e.FlaggedKeys()[uint64(spreader)] {
+		t.Fatal("Q3 missed the super spreader")
+	}
+}
+
+func TestQ3DistinctSuppressesRepeats(t *testing.T) {
+	// 100 packets to the SAME destination: distinct(sip,dip) passes one.
+	e := NewEngine(query.Q3(40))
+	for i := 0; i < 100; i++ {
+		e.Process(synPkt(uint64(i), 9))
+	}
+	e.Flush()
+	if len(e.Alerts()) != 0 {
+		t.Fatal("repeated destination counted as distinct fan-out")
+	}
+}
+
+func TestQ4PortScan(t *testing.T) {
+	tr := trace.Generate(trace.Config{Seed: 5, Flows: 50, Duration: 90 * time.Millisecond},
+		trace.PortScan{Scanner: 11, Victim: 22, Ports: 80})
+	e := NewEngine(query.Q4(40))
+	e.Run(tr.Packets)
+	if !e.FlaggedKeys()[22] {
+		t.Fatal("Q4 missed the scanned host")
+	}
+}
+
+func TestQ5UDPDDoS(t *testing.T) {
+	tr := trace.Generate(trace.Config{Seed: 6, Flows: 50, Duration: 90 * time.Millisecond},
+		trace.UDPFlood{Victim: 33, Sources: 90})
+	e := NewEngine(query.Q5(40))
+	e.Run(tr.Packets)
+	if !e.FlaggedKeys()[33] {
+		t.Fatal("Q5 missed the flood victim")
+	}
+}
+
+func TestQ2SSHBrute(t *testing.T) {
+	tr := trace.Generate(trace.Config{Seed: 7, Flows: 50, Duration: 90 * time.Millisecond},
+		trace.SSHBrute{Victim: 44, Attempts: 60})
+	e := NewEngine(query.Q2(20))
+	e.Run(tr.Packets)
+	if !e.FlaggedKeys()[44] {
+		t.Fatal("Q2 missed the brute-forced host")
+	}
+}
+
+func TestQ6SYNFloodMerge(t *testing.T) {
+	victim := uint32(0x0A0000BB)
+	tr := trace.Generate(trace.Config{Seed: 8, Flows: 200, Duration: 90 * time.Millisecond},
+		trace.SYNFlood{Victim: victim, Packets: 300})
+	e := NewEngine(query.Q6(30))
+	e.Run(tr.Packets)
+	if !e.FlaggedKeys()[uint64(victim)] {
+		t.Fatal("Q6 missed the SYN flood victim")
+	}
+}
+
+func TestQ6IgnoresHealthyTraffic(t *testing.T) {
+	// Complete handshakes: syn + synack - 2*ack stays non-positive.
+	e := NewEngine(query.Q6(30))
+	ts := uint64(0)
+	server := uint32(99)
+	for c := 0; c < 200; c++ {
+		client := uint32(1000 + c)
+		sport := uint16(10000 + c)
+		e.Process(&packet.Packet{TS: ts, IP: packet.IPv4{Proto: packet.ProtoTCP, Src: client, Dst: server},
+			TCP: &packet.TCP{SrcPort: sport, DstPort: 80, Flags: packet.FlagSYN}})
+		e.Process(&packet.Packet{TS: ts + 1, IP: packet.IPv4{Proto: packet.ProtoTCP, Src: server, Dst: client},
+			TCP: &packet.TCP{SrcPort: 80, DstPort: sport, Flags: packet.FlagSYN | packet.FlagACK}})
+		e.Process(&packet.Packet{TS: ts + 2, IP: packet.IPv4{Proto: packet.ProtoTCP, Src: client, Dst: server},
+			TCP: &packet.TCP{SrcPort: sport, DstPort: 80, Flags: packet.FlagACK}})
+		ts += 3
+	}
+	e.Flush()
+	if e.FlaggedKeys()[uint64(server)] {
+		t.Fatal("Q6 flagged a healthy server")
+	}
+}
+
+func TestQ7CompletedConnections(t *testing.T) {
+	e := NewEngine(query.Q7(20))
+	server := uint32(77)
+	ts := uint64(0)
+	for c := 0; c < 30; c++ {
+		sport := uint16(20000 + c)
+		e.Process(&packet.Packet{TS: ts, IP: packet.IPv4{Proto: packet.ProtoTCP, Src: uint32(c), Dst: server},
+			TCP: &packet.TCP{SrcPort: sport, DstPort: 80, Flags: packet.FlagSYN}})
+		e.Process(&packet.Packet{TS: ts + 1, IP: packet.IPv4{Proto: packet.ProtoTCP, Src: uint32(c), Dst: server},
+			TCP: &packet.TCP{SrcPort: sport, DstPort: 80, Flags: packet.FlagFIN | packet.FlagACK}})
+		ts += 2
+	}
+	e.Flush()
+	if !e.FlaggedKeys()[uint64(server)] {
+		t.Fatal("Q7 missed completed connections")
+	}
+	// Opens without closes must not alert: min(opens, 0) == 0.
+	e2 := NewEngine(query.Q7(20))
+	for c := 0; c < 30; c++ {
+		e2.Process(synPkt(uint64(c), server))
+	}
+	e2.Flush()
+	if len(e2.Alerts()) != 0 {
+		t.Fatal("Q7 alerted on half-open connections")
+	}
+}
+
+func TestQ8Slowloris(t *testing.T) {
+	tr := trace.Generate(trace.Config{Seed: 9, Flows: 0, Duration: 90 * time.Millisecond},
+		trace.Slowloris{Victim: 55, Conns: 100})
+	e := NewEngine(query.Q8(1000))
+	e.Run(tr.Packets)
+	if !e.FlaggedKeys()[55] {
+		t.Fatal("Q8 missed the Slowloris victim")
+	}
+}
+
+func TestQ8IgnoresBulkTransfer(t *testing.T) {
+	// One connection, many full-size packets: bytes dominate, no alert.
+	e := NewEngine(query.Q8(1000))
+	for i := 0; i < 200; i++ {
+		e.Process(&packet.Packet{TS: uint64(i), IP: packet.IPv4{Proto: packet.ProtoTCP, Src: 1, Dst: 66},
+			TCP:        &packet.TCP{SrcPort: 5000, DstPort: 80, Flags: packet.FlagACK | packet.FlagPSH},
+			PayloadLen: 1400})
+	}
+	e.Flush()
+	if e.FlaggedKeys()[66] {
+		t.Fatal("Q8 flagged a bulk transfer")
+	}
+}
+
+func TestQ9DNSNoTCP(t *testing.T) {
+	tr := trace.Generate(trace.Config{Seed: 10, Flows: 0, Duration: 90 * time.Millisecond},
+		trace.DNSNoTCP{Hosts: 3, Queries: 10})
+	e := NewEngine(query.Q9(5))
+	e.Run(tr.Packets)
+	flagged := e.FlaggedKeys()
+	for host := range tr.Truth.DNSOnlyHosts {
+		if !flagged[uint64(host)] {
+			t.Fatalf("Q9 missed DNS-only host %d", host)
+		}
+	}
+}
+
+func TestQ9VetoedByTCP(t *testing.T) {
+	e := NewEngine(query.Q9(5))
+	host := uint32(0xD3000099)
+	for i := 0; i < 20; i++ {
+		e.Process(&packet.Packet{TS: uint64(i), IP: packet.IPv4{Proto: packet.ProtoUDP, Src: 0x08080808, Dst: host},
+			UDP: &packet.UDP{SrcPort: 53, DstPort: 4000}})
+	}
+	// One outgoing TCP SYN vetoes the host.
+	e.Process(&packet.Packet{TS: 21, IP: packet.IPv4{Proto: packet.ProtoTCP, Src: host, Dst: 1},
+		TCP: &packet.TCP{SrcPort: 1234, DstPort: 443, Flags: packet.FlagSYN}})
+	for i := 0; i < 20; i++ {
+		e.Process(&packet.Packet{TS: uint64(30 + i), IP: packet.IPv4{Proto: packet.ProtoUDP, Src: 0x08080808, Dst: host},
+			UDP: &packet.UDP{SrcPort: 53, DstPort: 4000}})
+	}
+	e.Flush()
+	if e.FlaggedKeys()[uint64(host)] {
+		t.Fatal("Q9 flagged a host that opened TCP")
+	}
+}
+
+func TestFinalCounts(t *testing.T) {
+	e := NewEngine(query.Q1(40))
+	for i := 0; i < 10; i++ {
+		e.Process(synPkt(uint64(i), 5))
+	}
+	e.Flush()
+	fc := e.FinalCounts()
+	if fc[0][5] != 10 {
+		t.Errorf("FinalCounts[0][5] = %d, want 10", fc[0][5])
+	}
+}
+
+func TestEngineRejectsInvalidQuery(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid query should panic")
+		}
+	}()
+	NewEngine(&query.Query{})
+}
+
+func TestBackgroundOnlyNoAlerts(t *testing.T) {
+	// Default thresholds should be quiet on moderate background traffic.
+	tr := trace.Generate(trace.Config{Seed: 99, Flows: 300, Duration: 200 * time.Millisecond})
+	for i, q := range query.All() {
+		if i == 6 { // Q7 counts completed connections; background completes connections by design
+			continue
+		}
+		e := NewEngine(q)
+		e.Run(tr.Packets)
+		if n := len(e.Alerts()); n > 3 {
+			t.Errorf("%s fired %d alerts on pure background", q.Name, n)
+		}
+	}
+}
+
+func TestCollectorDedup(t *testing.T) {
+	mask := fields.Keep(fields.DstIP)
+	c := NewCollector(uint64(100*time.Millisecond), mask)
+	var keys fields.Vector
+	keys.Set(fields.DstIP, 42)
+	r := dataplane.Report{TS: 10, Keys: keys, KeyMask: mask}
+	c.Add(r)
+	c.Add(r) // duplicate in same window
+	r2 := r
+	r2.TS = uint64(150 * time.Millisecond) // next window
+	c.AddAll([]dataplane.Report{r2})
+	if c.Raw != 3 {
+		t.Errorf("Raw = %d, want 3", c.Raw)
+	}
+	if got := len(c.FlaggedKeys()); got != 1 {
+		t.Errorf("flagged keys = %d, want 1", got)
+	}
+	if got := len(c.Windows()); got != 2 {
+		t.Errorf("windows = %d, want 2", got)
+	}
+	if !c.FlaggedIn(0)[42] {
+		t.Error("window 0 missing key")
+	}
+}
+
+func TestAccuracyMetrics(t *testing.T) {
+	truth := map[uint64]bool{1: true, 2: true, 3: true, 4: true}
+	detected := map[uint64]bool{1: true, 2: true, 9: true}
+	a := Compare(detected, truth)
+	if a.TruePositives != 2 || a.FalseNegatives != 2 || a.FalsePositives != 1 {
+		t.Fatalf("Compare = %+v", a)
+	}
+	if a.Recall() != 0.5 {
+		t.Errorf("Recall = %f", a.Recall())
+	}
+	if got := a.FPR(); got != 1.0/3 {
+		t.Errorf("FPR = %f", got)
+	}
+	if a.F1() <= 0 || a.F1() > 1 {
+		t.Errorf("F1 = %f", a.F1())
+	}
+}
+
+func TestAccuracyDegenerate(t *testing.T) {
+	var a Accuracy
+	if a.Recall() != 1 || a.FPR() != 0 {
+		t.Error("empty comparison should be perfect")
+	}
+	if (Accuracy{}).F1() == 0 {
+		t.Error("perfect F1 should be nonzero")
+	}
+}
+
+func BenchmarkEngineQ1(b *testing.B) {
+	tr := trace.Generate(trace.Config{Seed: 1, Flows: 1000, Duration: time.Second},
+		trace.SYNFlood{Victim: 1, Packets: 1000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(query.Q1(40))
+		e.Run(tr.Packets)
+	}
+}

@@ -1,0 +1,126 @@
+package analyzer
+
+import (
+	"sort"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/fields"
+)
+
+// Collector gathers the reports switches mirror up and reduces them to
+// the per-window flagged-key sets experiments compare against ground
+// truth. Reports for the same (window, key) from multiple switches (or
+// repeated threshold crossings) deduplicate, mirroring how the software
+// analyzer consolidates mirrored messages.
+type Collector struct {
+	window  uint64
+	keyMask fields.Mask
+
+	Raw     int // raw mirrored messages (the monitoring-overhead numerator)
+	flagged map[uint64]map[uint64]bool
+}
+
+// NewCollector builds a collector for queries with the given window and
+// report-key mask.
+func NewCollector(window uint64, keyMask fields.Mask) *Collector {
+	return &Collector{window: window, keyMask: keyMask, flagged: map[uint64]map[uint64]bool{}}
+}
+
+// Add ingests one mirrored report.
+func (c *Collector) Add(r dataplane.Report) {
+	c.Raw++
+	w := r.TS / c.window
+	key := singleKeyValue(c.keyMask, &r.Keys)
+	if c.flagged[w] == nil {
+		c.flagged[w] = map[uint64]bool{}
+	}
+	c.flagged[w][key] = true
+}
+
+// AddAll ingests a batch of reports.
+func (c *Collector) AddAll(rs []dataplane.Report) {
+	for _, r := range rs {
+		c.Add(r)
+	}
+}
+
+// FlaggedKeys returns the distinct keys flagged in any window.
+func (c *Collector) FlaggedKeys() map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, m := range c.flagged {
+		for k := range m {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Windows returns the window indices with at least one flagged key, in
+// order.
+func (c *Collector) Windows() []uint64 {
+	var ws []uint64
+	for w := range c.flagged {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	return ws
+}
+
+// FlaggedIn returns the keys flagged in window w.
+func (c *Collector) FlaggedIn(w uint64) map[uint64]bool { return c.flagged[w] }
+
+// Accuracy quantifies detection quality against ground truth: the recall
+// over true keys ("accuracy" in Fig. 14) and the false-positive rate
+// over reported keys.
+type Accuracy struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Compare scores a detected key set against the ground-truth key set.
+func Compare(detected, truth map[uint64]bool) Accuracy {
+	var a Accuracy
+	for k := range truth {
+		if detected[k] {
+			a.TruePositives++
+		} else {
+			a.FalseNegatives++
+		}
+	}
+	for k := range detected {
+		if !truth[k] {
+			a.FalsePositives++
+		}
+	}
+	return a
+}
+
+// Recall is TP / (TP + FN) — the "accuracy" axis of Fig. 14.
+func (a Accuracy) Recall() float64 {
+	d := a.TruePositives + a.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(a.TruePositives) / float64(d)
+}
+
+// FPR is FP / (FP + TP) — the fraction of reported keys that are wrong,
+// the error axis of Fig. 14.
+func (a Accuracy) FPR() float64 {
+	d := a.FalsePositives + a.TruePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(a.FalsePositives) / float64(d)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (a Accuracy) F1() float64 {
+	p := 1 - a.FPR()
+	r := a.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,162 @@
+// Package baselines models the monitoring-message export disciplines of
+// the systems the evaluation compares Newton against (Figs. 12 and 13).
+// Each model counts the messages its system would send from one switch
+// observing a packet stream; the comparison metric is messages divided
+// by raw packets, which is a property of each system's published export
+// discipline, not of its implementation:
+//
+//   - TurboFlow exports one flow record per flow per window (plus
+//     mid-window evictions when its flow table overflows).
+//   - *Flow exports grouped packet vectors: per-packet features batched
+//     per flow, a GPV every gpvSize packets of a flow (cache evictions
+//     flush short groups, which we model by per-window flushing).
+//   - FlowRadar exports its encoded flowset — the whole register
+//     structure — every window.
+//   - Scream exports its sketch counters every window.
+//   - Sonata and Newton export exact query answers: one report per
+//     flagged key per window. Sonata's count is taken from the exact
+//     reference engine; Newton's from the simulated data plane itself.
+package baselines
+
+import (
+	"github.com/newton-net/newton/internal/analyzer"
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/query"
+)
+
+// System identifies a monitoring system in comparisons.
+type System int
+
+// The compared systems.
+const (
+	Newton System = iota
+	Sonata
+	TurboFlow
+	StarFlow
+	FlowRadar
+	Scream
+	NumSystems
+)
+
+var systemNames = [NumSystems]string{
+	"Newton", "Sonata", "TurboFlow", "*Flow", "FlowRadar", "Scream",
+}
+
+// String names the system as the figures do.
+func (s System) String() string {
+	if s >= 0 && s < NumSystems {
+		return systemNames[s]
+	}
+	return "unknown"
+}
+
+// Model parameters, matching the papers' defaults and §6.1's setup.
+const (
+	// gpvSize is packets per grouped packet vector (*Flow).
+	gpvSize = 16
+	// turboFlowTable is TurboFlow's flow-table capacity; overflowing
+	// flows evict mid-window.
+	turboFlowTable = 16384
+	// flowRadarCells is the encoded-flowset size the evaluation
+	// configures ("FlowRadar whose register array size is 4096").
+	flowRadarCells = 4096
+	// flowRadarCellBytes is one encoded cell (flow xor, counts).
+	flowRadarCellBytes = 18
+	// screamSketchBytes is one Count-Min instance's export size.
+	screamSketchBytes = 3 * 4096 * 4
+	// exportMTU is how many bytes fit one export message.
+	exportMTU = 1400
+)
+
+// TurboFlowMessages counts flow records exported for the stream.
+func TurboFlowMessages(pkts []*packet.Packet, window uint64) int {
+	msgs := 0
+	cur := uint64(0)
+	flows := map[packet.FlowKey]bool{}
+	flush := func() {
+		msgs += len(flows)
+		flows = map[packet.FlowKey]bool{}
+	}
+	for _, p := range pkts {
+		if w := p.TS / window; w != cur {
+			flush()
+			cur = w
+		}
+		k := p.Flow()
+		if !flows[k] {
+			if len(flows) >= turboFlowTable {
+				// Table full: evict one record immediately.
+				msgs++
+			} else {
+				flows[k] = true
+			}
+		}
+	}
+	flush()
+	return msgs
+}
+
+// StarFlowMessages counts grouped packet vectors.
+func StarFlowMessages(pkts []*packet.Packet, window uint64) int {
+	msgs := 0
+	cur := uint64(0)
+	partial := map[packet.FlowKey]int{}
+	flush := func() {
+		msgs += len(partial) // short groups flush at window end
+		partial = map[packet.FlowKey]int{}
+	}
+	for _, p := range pkts {
+		if w := p.TS / window; w != cur {
+			flush()
+			cur = w
+		}
+		k := p.Flow()
+		partial[k]++
+		if partial[k] == gpvSize {
+			msgs++
+			delete(partial, k)
+		}
+	}
+	flush()
+	return msgs
+}
+
+// FlowRadarMessages counts encoded-flowset export messages: the whole
+// structure leaves the switch every window.
+func FlowRadarMessages(pkts []*packet.Packet, window uint64) int {
+	perWindow := (flowRadarCells*flowRadarCellBytes + exportMTU - 1) / exportMTU
+	return windows(pkts, window) * perWindow
+}
+
+// ScreamMessages counts sketch exports: the allocated sketch leaves the
+// switch every window for central analysis.
+func ScreamMessages(pkts []*packet.Packet, window uint64) int {
+	perWindow := (screamSketchBytes + exportMTU - 1) / exportMTU
+	return windows(pkts, window) * perWindow
+}
+
+// windows counts how many evaluation windows the stream spans.
+func windows(pkts []*packet.Packet, window uint64) int {
+	if len(pkts) == 0 {
+		return 0
+	}
+	return int(pkts[len(pkts)-1].TS/window) + 1
+}
+
+// SonataMessages counts Sonata's exports for a query: accurate
+// exportation, one report per flagged key per window (the exact answer,
+// computed by the reference engine — Sonata compiles the same query
+// logic into its pipeline).
+func SonataMessages(q *query.Query, pkts []*packet.Packet) int {
+	e := analyzer.NewEngine(q)
+	return len(e.Run(pkts))
+}
+
+// Overhead is the comparison metric of Fig. 12: monitoring messages per
+// raw packet.
+func Overhead(messages, packets int) float64 {
+	if packets == 0 {
+		return 0
+	}
+	return float64(messages) / float64(packets)
+}

@@ -1,0 +1,122 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+const win = uint64(100 * time.Millisecond)
+
+func testTrace(seed int64) *trace.Trace {
+	return trace.Generate(trace.Config{Seed: seed, Flows: 2000, Duration: 500 * time.Millisecond},
+		trace.SYNFlood{Victim: 0x0A0000AA, Packets: 1000})
+}
+
+func TestSystemNames(t *testing.T) {
+	if Newton.String() != "Newton" || StarFlow.String() != "*Flow" {
+		t.Error("system names wrong")
+	}
+	if System(99).String() != "unknown" {
+		t.Error("out-of-range name")
+	}
+}
+
+func TestTurboFlowCountsFlowsPerWindow(t *testing.T) {
+	tr := testTrace(1)
+	msgs := TurboFlowMessages(tr.Packets, win)
+	// Flow records: at least one per distinct flow, fewer than packets.
+	flows := map[string]bool{}
+	for _, p := range tr.Packets {
+		flows[p.Flow().String()] = true
+	}
+	if msgs < len(flows) {
+		t.Errorf("TurboFlow msgs %d < distinct flows %d", msgs, len(flows))
+	}
+	if msgs >= len(tr.Packets) {
+		t.Errorf("TurboFlow msgs %d >= packets %d (should aggregate)", msgs, len(tr.Packets))
+	}
+}
+
+func TestStarFlowBetweenFlowsAndPackets(t *testing.T) {
+	tr := testTrace(2)
+	sf := StarFlowMessages(tr.Packets, win)
+	tf := TurboFlowMessages(tr.Packets, win)
+	if sf < tf {
+		t.Errorf("*Flow msgs %d < TurboFlow %d; GPVs are finer-grained than flow records", sf, tf)
+	}
+	if sf > len(tr.Packets) {
+		t.Errorf("*Flow msgs %d > packets", sf)
+	}
+}
+
+func TestFlowRadarAndScreamPerWindow(t *testing.T) {
+	tr := testTrace(3)
+	fr := FlowRadarMessages(tr.Packets, win)
+	sc := ScreamMessages(tr.Packets, win)
+	nw := int(tr.Packets[len(tr.Packets)-1].TS/win) + 1
+	if fr%nw != 0 || sc%nw != 0 {
+		t.Errorf("per-window exports not multiples of windows: %d %d over %d windows", fr, sc, nw)
+	}
+	if fr == 0 || sc == 0 {
+		t.Error("zero export")
+	}
+	if FlowRadarMessages(nil, win) != 0 || ScreamMessages(nil, win) != 0 {
+		t.Error("empty stream should export nothing")
+	}
+}
+
+func TestSonataAccurateExportation(t *testing.T) {
+	tr := testTrace(4)
+	msgs := SonataMessages(query.Q1(40), tr.Packets)
+	// One report per flagged key per window; the flood spans ~5 windows.
+	if msgs == 0 {
+		t.Fatal("Sonata exported nothing despite a flood")
+	}
+	if msgs > 50 {
+		t.Errorf("Sonata msgs = %d; accurate exportation should be tiny", msgs)
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	// The Fig. 12 shape: Newton/Sonata two orders of magnitude below the
+	// generic exporters.
+	tr := testTrace(5)
+	n := len(tr.Packets)
+	sonata := Overhead(SonataMessages(query.Q1(40), tr.Packets), n)
+	turbo := Overhead(TurboFlowMessages(tr.Packets, win), n)
+	star := Overhead(StarFlowMessages(tr.Packets, win), n)
+	if sonata*50 > turbo {
+		t.Errorf("Sonata %.5f not ≪ TurboFlow %.5f", sonata, turbo)
+	}
+	if star < turbo {
+		t.Errorf("*Flow %.5f below TurboFlow %.5f", star, turbo)
+	}
+}
+
+func TestOverheadDegenerate(t *testing.T) {
+	if Overhead(5, 0) != 0 {
+		t.Error("zero packets should give zero overhead")
+	}
+	if Overhead(5, 10) != 0.5 {
+		t.Error("overhead arithmetic wrong")
+	}
+}
+
+func TestTurboFlowEvictionUnderPressure(t *testing.T) {
+	// More distinct flows than the table holds: evictions add messages.
+	tr := trace.Generate(trace.Config{Seed: 6, Flows: 25000, Duration: 100 * time.Millisecond})
+	msgs := TurboFlowMessages(tr.Packets, win)
+	flows := map[interface{}]bool{}
+	for _, p := range tr.Packets {
+		flows[p.Flow()] = true
+	}
+	if len(flows) <= turboFlowTable {
+		t.Skip("trace did not overflow the table")
+	}
+	if msgs < len(flows) {
+		t.Errorf("evictions missing: %d msgs for %d flows", msgs, len(flows))
+	}
+}

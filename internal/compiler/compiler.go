@@ -1,0 +1,398 @@
+// Package compiler translates traffic-monitoring queries into Newton
+// module configurations and table rules (§4.3). It implements query
+// primitive decomposition (each primitive becomes configurations of the
+// K/H/S/R modules), module rule composition per Algorithm 1 with its
+// three optimizations, the naïve baseline composition the evaluation
+// compares against, and the Sonata compilation model used in Fig. 15.
+package compiler
+
+import (
+	"fmt"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/sketch"
+)
+
+// Options parameterizes compilation.
+type Options struct {
+	// QID is the data-plane query identifier (12 bits on the SP header).
+	QID int
+
+	// Opt1 replaces front filters with newton_init entries; Opt2 removes
+	// unused and redundant modules; Opt3 composes vertically over the
+	// two metadata sets of the compact layout.
+	Opt1, Opt2, Opt3 bool
+
+	// ReduceRows is the Count-Min row count per reduce (evaluation
+	// default: 2). DistinctHashes is the Bloom hash count per distinct
+	// (default: 3).
+	ReduceRows, DistinctHashes int
+
+	// Width is the register count per sketch row.
+	Width uint32
+
+	// ShardIndex/ShardCount configure key-sharded cross-switch execution
+	// (§5.1): this device owns keys whose owner hash ≡ ShardIndex mod
+	// ShardCount. Count 0 or 1 disables sharding.
+	ShardIndex, ShardCount uint32
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReduceRows <= 0 {
+		o.ReduceRows = 2
+	}
+	if o.DistinctHashes <= 0 {
+		o.DistinctHashes = 3
+	}
+	if o.Width == 0 {
+		o.Width = 1024
+	}
+	return o
+}
+
+// AllOpts enables every composition optimization.
+func AllOpts() Options { return Options{Opt1: true, Opt2: true, Opt3: true} }
+
+// Baseline disables every optimization: full suites, one module per
+// stage — the evaluation's baseline composition.
+func Baseline() Options { return Options{} }
+
+// rowSeed derives the hash seed of sketch row r. All branches of a query
+// share row seeds so cross-branch state reads align on key values.
+func rowSeed(r int) uint32 { return 0x9E3779B9 + uint32(r)*0x85EBCA6B }
+
+// filterSeed seeds the equality-filter hash.
+const filterSeed = 0xF117F117
+
+// continueAll is the R entry range that matches any realistic value.
+const rInf = int64(1) << 62
+
+// unit is an intermediate group of ops produced by decomposing one
+// primitive (or one sketch row of a stateful primitive). Units are the
+// granularity of metadata-set alternation in vertical composition.
+type unit struct {
+	ops []*modules.Op
+
+	// gates marks units whose R can stop the packet (filters, the
+	// distinct gate): later state writes must be staged after them.
+	gates bool
+	// isRow0 marks the unit carrying a reduce's first sketch row; its
+	// metadata set holds the entity keys reports mirror.
+	isRow0 bool
+	// tailRead marks merge-tail units reading other branches' banks;
+	// they are forced onto the set opposite the report keys.
+	tailRead bool
+	// reportR marks the unit whose R mirrors reports; it is forced onto
+	// the row-0 set so the mirrored keys are the monitored entity.
+	reportR bool
+}
+
+// Compile translates q into a data-plane program under the given
+// options.
+func Compile(q *query.Query, o Options) (*modules.Program, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: %w", err)
+	}
+	o = o.withDefaults()
+	if q.Merge != nil {
+		for bi := range q.Branches {
+			if len(q.Branches[bi].StatefulKeys().Fields()) != 1 {
+				return nil, fmt.Errorf("compiler: merge query %s branch %d needs a single-field stateful key", q.Name, bi)
+			}
+		}
+	}
+	p := &modules.Program{QID: o.QID, Name: q.Name}
+	// Without Opt.3 the composition is the intuitive one: the whole
+	// query — all branches — chains horizontally, one module per stage
+	// (Fig. 6's "up to 20 modules and 20 stages"). With Opt.3, branches
+	// multiplex rules into the same stages.
+	seq := 0
+	for bi := range q.Branches {
+		bp, units, err := compileBranch(q, bi, o)
+		if err != nil {
+			return nil, err
+		}
+		assignSets(units, o)
+		if o.Opt2 {
+			units = pruneRedundantK(units)
+		}
+		seq = assignStages(units, o, seq)
+		for _, u := range units {
+			bp.Ops = append(bp.Ops, u.ops...)
+		}
+		p.Branches = append(p.Branches, bp)
+	}
+	return p, nil
+}
+
+// compileBranch lowers one branch: Opt.1 front-filter folding, primitive
+// decomposition into units, and the merge tail.
+func compileBranch(q *query.Query, bi int, o Options) (*modules.BranchProgram, []*unit, error) {
+	b := &q.Branches[bi]
+	bp := &modules.BranchProgram{Init: modules.MatchAllInit()}
+
+	prims := b.Prims
+	if o.Opt1 && len(prims) > 0 && prims[0].IsFrontFilter() {
+		bp.Init = initMatchFor(prims[0])
+		prims = prims[1:]
+	}
+
+	units, err := decompose(q, prims, o)
+	if err != nil {
+		return nil, nil, fmt.Errorf("compiler: %s branch %d: %w", q.Name, bi, err)
+	}
+	tail, err := mergeTail(q, bi, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bp, append(units, tail...), nil
+}
+
+// initMatchFor builds the newton_init ternary entry equivalent to a
+// front filter.
+func initMatchFor(pr query.Primitive) modules.InitMatch {
+	var m modules.InitMatch
+	col := func(f fields.ID) int {
+		switch f {
+		case fields.SrcIP:
+			return 0
+		case fields.DstIP:
+			return 1
+		case fields.Proto:
+			return 2
+		case fields.SrcPort:
+			return 3
+		case fields.DstPort:
+			return 4
+		case fields.TCPFlags:
+			return 5
+		}
+		return -1
+	}
+	for _, pred := range pr.Preds {
+		c := col(pred.Field)
+		if c < 0 {
+			continue
+		}
+		mask := pred.Field.MaxValue()
+		if pred.Op == query.CmpMaskEq {
+			mask = pred.Mask
+		}
+		m.Values[c] = pred.Value & mask
+		m.Masks[c] = mask
+	}
+	return m
+}
+
+// decompose lowers primitives into units of module ops (configs only;
+// sets and stages come later).
+func decompose(q *query.Query, prims []query.Primitive, o Options) ([]*unit, error) {
+	var units []*unit
+	// curKeys tracks the chain's current operation keys (θ in Algorithm
+	// 1): unoptimized suites whose K is semantically unused re-select
+	// them so downstream modules (and reports) see unchanged keys.
+	curKeys := fields.Keep(fields.DstIP)
+	kOp := func(m fields.Mask) *modules.Op {
+		curKeys = m
+		return &modules.Op{Kind: modules.ModK, K: &modules.KConfig{Mask: m}}
+	}
+	passthroughHSR := func(u *unit) {
+		u.ops = append(u.ops,
+			&modules.Op{Kind: modules.ModH, H: &modules.HConfig{Algo: sketch.FNV1a, Seed: filterSeed, Direct: modules.NoField}},
+			&modules.Op{Kind: modules.ModS, S: &modules.SConfig{PassThrough: true}},
+			&modules.Op{Kind: modules.ModR, R: &modules.RConfig{Entries: []modules.REntry{{Lo: -rInf, Hi: rInf}}}})
+	}
+
+	for pi, pr := range prims {
+		lastPrim := pi == len(prims)-1
+		switch pr.Kind {
+		case query.KindFilter:
+			eqPreds, rangePreds, resPreds := splitPreds(pr.Preds)
+			if len(eqPreds) > 0 {
+				u := &unit{gates: true}
+				mask := predMask(eqPreds)
+				u.ops = append(u.ops, kOp(mask))
+				expect := expectedHash(eqPreds, mask)
+				u.ops = append(u.ops,
+					&modules.Op{Kind: modules.ModH, H: &modules.HConfig{Algo: sketch.FNV1a, Seed: filterSeed, Direct: modules.NoField}},
+					&modules.Op{Kind: modules.ModS, S: &modules.SConfig{PassThrough: true}},
+					&modules.Op{Kind: modules.ModR, R: &modules.RConfig{Entries: []modules.REntry{
+						{Lo: int64(expect), Hi: int64(expect)}, // match → continue
+					}}})
+				units = append(units, u)
+			}
+			for _, pred := range rangePreds {
+				u := &unit{gates: true}
+				u.ops = append(u.ops, kOp(fields.Keep(pred.Field)))
+				lo, hi := predRange(pred)
+				u.ops = append(u.ops,
+					&modules.Op{Kind: modules.ModH, H: &modules.HConfig{Direct: pred.Field}},
+					&modules.Op{Kind: modules.ModS, S: &modules.SConfig{PassThrough: true}},
+					&modules.Op{Kind: modules.ModR, R: &modules.RConfig{Entries: []modules.REntry{{Lo: lo, Hi: hi}}}})
+				units = append(units, u)
+			}
+			for _, pred := range resPreds {
+				u := &unit{gates: true}
+				if !o.Opt2 {
+					// Unoptimized, the suite still carries the unused
+					// K/H/S modules Opt.2 would strip; its K re-selects
+					// the current keys so reports stay intact.
+					u.ops = append(u.ops, kOp(curKeys))
+					u.ops = append(u.ops,
+						&modules.Op{Kind: modules.ModH, H: &modules.HConfig{Algo: sketch.FNV1a, Seed: filterSeed, Direct: modules.NoField}},
+						&modules.Op{Kind: modules.ModS, S: &modules.SConfig{PassThrough: true}})
+				}
+				entries := resultEntries(q, pred, lastPrim)
+				if q.Merge == nil && lastPrim && (pred.Op == query.CmpGt || pred.Op == query.CmpGe) {
+					u.reportR = true
+				}
+				u.ops = append(u.ops, &modules.Op{Kind: modules.ModR, R: &modules.RConfig{OnGlobal: true, Entries: entries}})
+				units = append(units, u)
+			}
+
+		case query.KindMap:
+			u := &unit{}
+			u.ops = append(u.ops, kOp(pr.Keys))
+			if !o.Opt2 {
+				passthroughHSR(u)
+			}
+			units = append(units, u)
+
+		case query.KindDistinct:
+			for r := 0; r < o.DistinctHashes; r++ {
+				u := &unit{}
+				u.ops = append(u.ops, kOp(pr.Keys))
+				u.ops = append(u.ops,
+					&modules.Op{Kind: modules.ModH, H: &modules.HConfig{Algo: sketch.CRC32IEEE, Seed: rowSeed(r), Range: o.Width, Direct: modules.NoField}},
+					&modules.Op{Kind: modules.ModS, S: &modules.SConfig{
+						ALU: dataplane.OpOr, Operand: modules.OperandConst, Const: 1,
+						WidthHint: o.Width, OwnerIndex: o.ShardIndex, OwnerCount: o.ShardCount,
+					}})
+				act := modules.RAct{Kind: modules.RActGlobalAdd, Coeff: 1}
+				if r == 0 {
+					act = modules.RAct{Kind: modules.RActSetGlobal}
+				}
+				u.ops = append(u.ops, &modules.Op{Kind: modules.ModR, R: &modules.RConfig{Entries: []modules.REntry{
+					{Lo: -rInf, Hi: rInf, Actions: []modules.RAct{act}},
+				}}})
+				units = append(units, u)
+			}
+			// Gate: seen before iff every row's old bit was set
+			// (global == rows). New → continue, seen → stop.
+			gate := &unit{gates: true}
+			gate.ops = append(gate.ops, &modules.Op{Kind: modules.ModR, R: &modules.RConfig{
+				OnGlobal: true,
+				Entries:  []modules.REntry{{Lo: 0, Hi: int64(o.DistinctHashes) - 1}},
+			}})
+			units = append(units, gate)
+
+		case query.KindReduce:
+			operand, constv, fieldv := modules.OperandConst, uint32(1), fields.ID(0)
+			if pr.Value != query.ValueOne {
+				operand, fieldv = modules.OperandField, pr.Value
+			}
+			for r := 0; r < o.ReduceRows; r++ {
+				u := &unit{isRow0: r == 0}
+				u.ops = append(u.ops, kOp(pr.Keys))
+				u.ops = append(u.ops,
+					&modules.Op{Kind: modules.ModH, H: &modules.HConfig{Algo: sketch.CRC32IEEE, Seed: rowSeed(r), Range: o.Width, Direct: modules.NoField}},
+					&modules.Op{Kind: modules.ModS, S: &modules.SConfig{
+						ALU: dataplane.OpAdd, Operand: operand, Const: constv, Field: fieldv,
+						WidthHint: o.Width, Row0: r == 0,
+						OwnerIndex: o.ShardIndex, OwnerCount: o.ShardCount,
+					}})
+				act := modules.RAct{Kind: modules.RActGlobalMin}
+				if r == 0 {
+					act = modules.RAct{Kind: modules.RActSetGlobal}
+				}
+				u.ops = append(u.ops, &modules.Op{Kind: modules.ModR, R: &modules.RConfig{Entries: []modules.REntry{
+					{Lo: -rInf, Hi: rInf, Actions: []modules.RAct{act}},
+				}}})
+				units = append(units, u)
+			}
+		}
+	}
+	return units, nil
+}
+
+// resultEntries compiles a result predicate into R entries. For the
+// final threshold of a single-branch query, the exact crossing value
+// (threshold + 1, counts increment by one) gets the report action —
+// Newton's accurate "report once per key per window" exportation.
+func resultEntries(q *query.Query, pred query.Predicate, lastPrim bool) []modules.REntry {
+	lo, hi := predRange(pred)
+	if q.Merge == nil && lastPrim && (pred.Op == query.CmpGt || pred.Op == query.CmpGe) {
+		return []modules.REntry{
+			{Lo: lo, Hi: lo, Actions: []modules.RAct{{Kind: modules.RActReport}}},
+			{Lo: lo + 1, Hi: hi}, // already reported this window → continue silently
+		}
+	}
+	return []modules.REntry{{Lo: lo, Hi: hi}}
+}
+
+// splitPreds partitions filter predicates into equality-on-packet,
+// range-on-packet, and on-result classes.
+func splitPreds(preds []query.Predicate) (eq, rng, res []query.Predicate) {
+	for _, p := range preds {
+		switch {
+		case p.OnResult():
+			res = append(res, p)
+		case p.Op == query.CmpEq || p.Op == query.CmpMaskEq:
+			eq = append(eq, p)
+		default:
+			rng = append(rng, p)
+		}
+	}
+	return
+}
+
+// predMask builds the K mask covering equality predicates (using the
+// predicate's own bit mask for masked matches).
+func predMask(preds []query.Predicate) fields.Mask {
+	var m fields.Mask
+	for _, p := range preds {
+		bits := p.Field.MaxValue()
+		if p.Op == query.CmpMaskEq {
+			bits = p.Mask
+		}
+		m = m.WithBits(p.Field, bits)
+	}
+	return m
+}
+
+// expectedHash computes the hash the filter's R entry matches: the hash
+// of the expected operation keys, exactly as the engine computes it for
+// a satisfying packet.
+func expectedHash(preds []query.Predicate, mask fields.Mask) uint32 {
+	var v fields.Vector
+	for _, p := range preds {
+		v.Set(p.Field, p.Value)
+	}
+	keys := mask.Apply(&v)
+	var buf [8 * int(fields.NumFields)]byte
+	return sketch.FNV1a.Sum(mask.Bytes(&keys, buf[:0]), filterSeed)
+}
+
+// predRange converts a comparison into the [lo, hi] continue-range of an
+// R entry.
+func predRange(p query.Predicate) (int64, int64) {
+	switch p.Op {
+	case query.CmpGt:
+		return int64(p.Value) + 1, rInf
+	case query.CmpGe:
+		return int64(p.Value), rInf
+	case query.CmpLt:
+		return -rInf, int64(p.Value) - 1
+	case query.CmpLe:
+		return -rInf, int64(p.Value)
+	case query.CmpNe:
+		// Ne needs two ternary entries; result values are counts, so in
+		// practice != v means > v. Documented approximation.
+		return int64(p.Value) + 1, rInf
+	default: // CmpEq
+		return int64(p.Value), int64(p.Value)
+	}
+}

@@ -1,0 +1,151 @@
+package compiler
+
+import (
+	"testing"
+
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/query"
+)
+
+// TestQ6WorkedExample pins the structural facts of the paper's worked
+// example (Fig. 6, module rule composition for SYN-flood victims): the
+// front filters live in newton_init, the branches' counts merge through
+// cross-branch reads of the row-0 banks into the global result, and the
+// final R reports the monitored entity's keys.
+func TestQ6WorkedExample(t *testing.T) {
+	q := query.Q6(30)
+	p, err := Compile(q, AllOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(p.Branches) != 3 {
+		t.Fatalf("branches = %d", len(p.Branches))
+	}
+
+	// Opt.1: every branch's front filter folded into newton_init, with
+	// distinct flag patterns (SYN / SYN+ACK / ACK).
+	flags := map[uint64]bool{}
+	for bi, b := range p.Branches {
+		if b.Init.Masks[2] != 0xFF || b.Init.Values[2] != 6 {
+			t.Errorf("branch %d init lacks the TCP match: %+v", bi, b.Init)
+		}
+		flags[b.Init.Values[5]] = true
+	}
+	if len(flags) != 3 {
+		t.Errorf("branches share flag classes: %v", flags)
+	}
+
+	for bi, b := range p.Branches {
+		// Exactly two cross-branch reads per branch (the other two
+		// branches' row-0 banks), staged after the own rows.
+		var reads, row0s int
+		var reportR *modules.Op
+		for _, op := range b.Ops {
+			if op.Kind == modules.ModS && op.S != nil {
+				if op.S.CrossRead {
+					reads++
+					if op.S.ReadBranch == bi {
+						t.Errorf("branch %d reads itself", bi)
+					}
+				}
+				if op.S.Row0 {
+					row0s++
+				}
+			}
+			if op.Kind == modules.ModR && op.R != nil && op.R.OnGlobal {
+				for _, e := range op.R.Entries {
+					for _, a := range e.Actions {
+						if a.Kind == modules.RActReport {
+							reportR = op
+						}
+					}
+				}
+			}
+		}
+		if reads != 2 {
+			t.Errorf("branch %d has %d cross-branch reads, want 2", bi, reads)
+		}
+		if row0s != 1 {
+			t.Errorf("branch %d has %d row-0 banks, want 1", bi, row0s)
+		}
+		if reportR == nil {
+			t.Fatalf("branch %d has no reporting R", bi)
+		}
+		// The report window starts just above the merge threshold
+		// (report-once at the crossing).
+		if e := reportR.R.Entries[0]; e.Lo != 31 {
+			t.Errorf("branch %d report window starts at %d, want 31", bi, e.Lo)
+		}
+		// The reporting R sits on the set whose K selected the entity
+		// keys (dip for branches 0/2, sip for branch 1).
+		wantKey := fields.DstIP
+		if bi == 1 {
+			wantKey = fields.SrcIP
+		}
+		var lastK *modules.Op
+		for _, op := range b.Ops {
+			if op.Kind == modules.ModK && op.Set == reportR.Set {
+				lastK = op
+			}
+		}
+		if lastK == nil || !lastK.K.Mask.Equal(fields.Keep(wantKey)) {
+			t.Errorf("branch %d report keys wrong (set %d)", bi, reportR.Set)
+		}
+	}
+
+	// Vertical composition: both metadata sets in use, and at least one
+	// physical stage hosts modules of both sets (the whole point of the
+	// compact layout).
+	setsAtStage := map[int]map[int]bool{}
+	for _, b := range p.Branches {
+		for _, op := range b.Ops {
+			if setsAtStage[op.Stage] == nil {
+				setsAtStage[op.Stage] = map[int]bool{}
+			}
+			setsAtStage[op.Stage][op.Set] = true
+		}
+	}
+	shared := 0
+	for _, sets := range setsAtStage {
+		if len(sets) == 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no stage hosts both metadata sets; vertical composition inert")
+	}
+
+	// The optimized program stays within the paper's stage budget for
+	// Q6 (it reports 5–10 stages; we land at 10).
+	if got := p.NumStages(); got > 10 {
+		t.Errorf("Q6 optimized stages = %d, want <= 10", got)
+	}
+}
+
+// TestQ6MergeArithmetic verifies the compiled coefficient chain: branch
+// 2 (pure ACKs) contributes with coefficient -2 via a global scale.
+func TestQ6MergeArithmetic(t *testing.T) {
+	p, err := Compile(query.Q6(30), AllOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := p.Branches[2]
+	foundScale := false
+	for _, op := range b2.Ops {
+		if op.Kind != modules.ModR || op.R == nil {
+			continue
+		}
+		for _, e := range op.R.Entries {
+			for _, a := range e.Actions {
+				if a.Kind == modules.RActGlobalScale && a.Coeff == -2 {
+					foundScale = true
+				}
+			}
+		}
+	}
+	if !foundScale {
+		t.Error("branch 2 (ACK counts) missing its -2 scale")
+	}
+}

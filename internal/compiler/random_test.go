@@ -1,0 +1,140 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+// randomQuery synthesizes a valid single-branch query: optional front
+// filter, optional projection, optional distinct, a count-reduce over a
+// single entity field, and a threshold tail. This is the grammar the
+// data plane fully supports, so the compiled form must match the
+// reference engine exactly (given ample sketch memory).
+func randomQuery(rng *rand.Rand, name string) *query.Query {
+	b := query.New(name)
+
+	entity := fields.DstIP
+	if rng.Intn(2) == 0 {
+		entity = fields.SrcIP
+	}
+
+	switch rng.Intn(4) {
+	case 0:
+		b.Filter(query.Eq(fields.Proto, packet.ProtoTCP))
+	case 1:
+		b.Filter(query.Eq(fields.Proto, packet.ProtoTCP),
+			query.Eq(fields.TCPFlags, packet.FlagSYN))
+	case 2:
+		b.Filter(query.Eq(fields.Proto, packet.ProtoUDP))
+	case 3: // no front filter
+	}
+
+	var distinctKeys []fields.ID
+	switch rng.Intn(3) {
+	case 0:
+		distinctKeys = []fields.ID{entity, fields.SrcPort}
+	case 1:
+		distinctKeys = []fields.ID{entity, opposite(entity)}
+	case 2: // no distinct
+	}
+	if distinctKeys != nil {
+		b.Map(distinctKeys...)
+		b.Distinct(distinctKeys...)
+	}
+
+	if rng.Intn(2) == 0 {
+		b.Map(entity)
+	}
+	b.ReduceCount(entity)
+	b.FilterResultGt(uint64(10 + rng.Intn(40)))
+	return b.Build()
+}
+
+func opposite(f fields.ID) fields.ID {
+	if f == fields.DstIP {
+		return fields.SrcIP
+	}
+	return fields.DstIP
+}
+
+// randomOptions picks a random optimization combination and sketch
+// geometry — semantics must be invariant under all of them (DESIGN
+// invariant 2).
+func randomOptions(rng *rand.Rand) Options {
+	return Options{
+		QID:            1,
+		Opt1:           rng.Intn(2) == 0,
+		Opt2:           rng.Intn(2) == 0,
+		Opt3:           rng.Intn(2) == 0,
+		ReduceRows:     1 + rng.Intn(3),
+		DistinctHashes: 1 + rng.Intn(3),
+		Width:          1 << 15, // ample memory: sketches behave exactly
+	}
+}
+
+// TestRandomQueriesMatchReference is the repository's strongest semantic
+// property: for random queries, random optimization combinations, and
+// random traffic, the data plane flags exactly the keys the exact
+// reference engine flags.
+func TestRandomQueriesMatchReference(t *testing.T) {
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		q := randomQuery(rng, fmt.Sprintf("rand_%d", trial))
+		o := randomOptions(rng)
+
+		tr := trace.Generate(
+			trace.Config{Seed: int64(trial), Flows: 250, Duration: 200 * time.Millisecond},
+			trace.SYNFlood{Victim: 0x0A0000AA, Packets: 250},
+			trace.UDPFlood{Victim: 0x0A0000AB, Sources: 80},
+			trace.SuperSpreader{Source: 0x0B000002, Fanout: 90},
+		)
+
+		got, _ := runDataplaneN(t, q, o, tr, 48, 1<<16)
+		want := refFlagged(q, tr)
+		for k := range want {
+			if !got[k] {
+				t.Errorf("trial %d (%s, opts %+v): data plane missed key %d",
+					trial, q, o, k)
+			}
+		}
+		for k := range got {
+			if !want[k] {
+				t.Errorf("trial %d (%s, opts %+v): data plane falsely flagged key %d",
+					trial, q, o, k)
+			}
+		}
+	}
+}
+
+// TestRandomQueriesStageBudget pins a coarse resource property: any
+// query from the supported grammar compiles, fully optimized, into a
+// bounded number of stages.
+func TestRandomQueriesStageBudget(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		q := randomQuery(rng, fmt.Sprintf("rand_%d", trial))
+		p, err := Compile(q, AllOpts())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := p.NumStages(); got > 12 {
+			t.Errorf("trial %d: %d stages for %s", trial, got, q)
+		}
+		base, err := Compile(q, Baseline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumStages() >= base.NumStages() {
+			t.Errorf("trial %d: optimization did not reduce stages (%d vs %d)",
+				trial, p.NumStages(), base.NumStages())
+		}
+	}
+}

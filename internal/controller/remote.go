@@ -1,0 +1,119 @@
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/rpc"
+)
+
+// Remote is the Newton controller speaking to switch agents over the
+// control channel (internal/rpc) instead of in-process engines — the
+// shape of a real deployment, where the controller is "a module of the
+// centralized network controller or ... an independent process" (§7).
+type Remote struct {
+	agents map[string]*rpc.Client
+	rng    *rand.Rand
+
+	nextQID     int
+	deployments map[int][]string // qid -> agent names
+}
+
+// NewRemote builds a controller over named agent connections.
+func NewRemote(agents map[string]*rpc.Client, seed int64) *Remote {
+	return &Remote{
+		agents: agents, rng: rand.New(rand.NewSource(seed)),
+		nextQID: 1, deployments: map[int][]string{},
+	}
+}
+
+// Install compiles a query and pushes it to the named agents (all
+// agents when names is nil). Returns the assigned QID and the modeled
+// operation latency (per-switch batches run in parallel; the slowest
+// bounds the delay).
+func (r *Remote) Install(q *query.Query, width uint32, names []string) (int, time.Duration, error) {
+	if len(names) == 0 {
+		for n := range r.agents {
+			names = append(names, n)
+		}
+	}
+	qid := r.nextQID
+	var done []string
+	undo := func() {
+		for _, n := range done {
+			_ = r.agents[n].Remove(qid)
+		}
+	}
+	maxRules := 0
+	for _, n := range names {
+		c, ok := r.agents[n]
+		if !ok {
+			undo()
+			return 0, 0, fmt.Errorf("controller: no agent %q", n)
+		}
+		o := compiler.AllOpts()
+		o.QID = qid
+		o.Width = width
+		p, err := compiler.Compile(q, o)
+		if err != nil {
+			undo()
+			return 0, 0, err
+		}
+		if err := c.Install(p); err != nil {
+			undo()
+			return 0, 0, fmt.Errorf("controller: agent %q: %w", n, err)
+		}
+		done = append(done, n)
+		if rules := p.RuleCount() + 1; rules > maxRules {
+			maxRules = rules
+		}
+	}
+	r.nextQID++
+	r.deployments[qid] = done
+	f := 0.9 + 0.2*r.rng.Float64()
+	delay := time.Duration(float64(installBase+time.Duration(maxRules)*installPerRule) * f)
+	return qid, delay, nil
+}
+
+// Remove uninstalls a deployment from every agent holding it.
+func (r *Remote) Remove(qid int) error {
+	names, ok := r.deployments[qid]
+	if !ok {
+		return fmt.Errorf("controller: no deployment %d", qid)
+	}
+	for _, n := range names {
+		if err := r.agents[n].Remove(qid); err != nil {
+			return fmt.Errorf("controller: agent %q: %w", n, err)
+		}
+	}
+	delete(r.deployments, qid)
+	return nil
+}
+
+// Tick rolls the evaluation window on every agent (the controller's
+// 100 ms heartbeat).
+func (r *Remote) Tick() error {
+	for n, c := range r.agents {
+		if err := c.NextEpoch(); err != nil {
+			return fmt.Errorf("controller: agent %q: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// Collect drains reports from every agent.
+func (r *Remote) Collect() ([]dataplane.Report, error) {
+	var out []dataplane.Report
+	for n, c := range r.agents {
+		rs, err := c.DrainReports()
+		if err != nil {
+			return nil, fmt.Errorf("controller: agent %q: %w", n, err)
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package controller
+
+import (
+	"net"
+	"testing"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/rpc"
+)
+
+// remoteFixture wires N agents to a Remote controller over in-memory
+// pipes and returns the underlying switches for traffic injection.
+func remoteFixture(t *testing.T, n int) (*Remote, []*dataplane.Switch) {
+	t.Helper()
+	agents := map[string]*rpc.Client{}
+	var sws []*dataplane.Switch
+	for i := 0; i < n; i++ {
+		layout, err := modules.NewLayout(modules.LayoutCompact, 16, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := modules.NewEngine(layout)
+		sw := dataplane.NewSwitch(string(rune('a'+i)), 16, modules.StageCapacity())
+		sw.AddRoute(0, 0, 1)
+		sw.Monitor = eng
+		agent := rpc.NewAgent(sw, eng)
+		server, client := net.Pipe()
+		go agent.HandleConn(server)
+		c := rpc.NewClient(client)
+		t.Cleanup(func() { c.Close() })
+		agents[sw.ID] = c
+		sws = append(sws, sw)
+	}
+	return NewRemote(agents, 1), sws
+}
+
+func TestRemoteInstallCollectRemove(t *testing.T) {
+	r, sws := remoteFixture(t, 2)
+	qid, delay, err := r.Install(query.Q1(3), 1<<10, nil)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if delay <= 0 {
+		t.Error("no modeled delay")
+	}
+
+	for i := 0; i < 10; i++ {
+		for _, sw := range sws {
+			sw.Process(&packet.Packet{
+				TS: uint64(i), IP: packet.IPv4{Proto: packet.ProtoTCP, Src: 9, Dst: 42},
+				TCP: &packet.TCP{SrcPort: 1, DstPort: 80, Flags: packet.FlagSYN},
+			})
+		}
+	}
+	reports, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 { // one crossing per switch
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	if reports[0].Keys.Get(fields.DstIP) != 42 {
+		t.Error("report keys lost over the wire")
+	}
+
+	if err := r.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(qid); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(qid); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+func TestRemoteInstallRollsBackAcrossAgents(t *testing.T) {
+	r, _ := remoteFixture(t, 2)
+	// First install succeeds everywhere.
+	if _, _, err := r.Install(query.Q1(3), 1<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown agent mid-list: the whole install unwinds.
+	if _, _, err := r.Install(query.Q4(40), 1<<10, []string{"a", "ghost"}); err == nil {
+		t.Fatal("install to a ghost agent succeeded")
+	}
+	// The partially-installed query must be gone from agent "a": a fresh
+	// install with the same next QID succeeds.
+	if _, _, err := r.Install(query.Q4(40), 1<<10, []string{"a"}); err != nil {
+		t.Fatalf("rollback left residue: %v", err)
+	}
+}
+
+func TestRemoteTargetsSubset(t *testing.T) {
+	r, sws := remoteFixture(t, 3)
+	if _, _, err := r.Install(query.Q1(3), 1<<10, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for _, sw := range sws {
+			sw.Process(&packet.Packet{
+				TS: uint64(i), IP: packet.IPv4{Proto: packet.ProtoTCP, Src: 9, Dst: 42},
+				TCP: &packet.TCP{SrcPort: 1, DstPort: 80, Flags: packet.FlagSYN},
+			})
+		}
+	}
+	reports, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].SwitchID != "b" {
+		t.Fatalf("subset targeting wrong: %+v", reports)
+	}
+}

@@ -1,0 +1,246 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/packet"
+)
+
+// Stage is one physical match-action stage: the tables and register
+// arrays placed there plus the resource bookkeeping that enforces the
+// stage's capacity.
+type Stage struct {
+	Index    int
+	Capacity Resources
+
+	used      Resources
+	tables    []*Table
+	arrays    []*RegisterArray
+	placement map[string]Resources
+}
+
+// Place reserves resources in the stage for a named component, failing
+// if the stage cannot accommodate it. The optional table/array are
+// registered with the stage for introspection.
+func (s *Stage) Place(name string, consumes Resources, t *Table, ra *RegisterArray) error {
+	want := s.used
+	want.Add(consumes)
+	if !want.Fits(s.Capacity) {
+		return fmt.Errorf("dataplane: stage %d cannot accommodate %s (used %v + %v > cap %v)",
+			s.Index, name, s.used, consumes, s.Capacity)
+	}
+	s.used = want
+	if s.placement == nil {
+		s.placement = make(map[string]Resources)
+	}
+	s.placement[name] = consumes
+	if t != nil {
+		s.tables = append(s.tables, t)
+	}
+	if ra != nil {
+		s.arrays = append(s.arrays, ra)
+	}
+	return nil
+}
+
+// Used returns the stage's consumed resource vector.
+func (s *Stage) Used() Resources { return s.used }
+
+// Tables returns the tables placed in the stage.
+func (s *Stage) Tables() []*Table { return s.tables }
+
+// Arrays returns the register arrays placed in the stage.
+func (s *Stage) Arrays() []*RegisterArray { return s.arrays }
+
+// Pipeline is an ordered sequence of physical stages.
+type Pipeline struct {
+	Stages []*Stage
+}
+
+// NewPipeline builds a pipeline of n stages with the given per-stage
+// capacity.
+func NewPipeline(n int, capacity Resources) *Pipeline {
+	if n <= 0 {
+		panic("dataplane: pipeline needs at least one stage")
+	}
+	p := &Pipeline{Stages: make([]*Stage, n)}
+	for i := range p.Stages {
+		p.Stages[i] = &Stage{Index: i, Capacity: capacity}
+	}
+	return p
+}
+
+// NextEpoch advances the window epoch of every register array.
+func (p *Pipeline) NextEpoch() {
+	for _, s := range p.Stages {
+		for _, ra := range s.arrays {
+			ra.NextEpoch()
+		}
+	}
+}
+
+// TotalUsed sums resource usage across stages.
+func (p *Pipeline) TotalUsed() Resources {
+	var sum Resources
+	for _, s := range p.Stages {
+		sum.Add(s.Used())
+	}
+	return sum
+}
+
+// Report is one monitoring message mirrored to the software analyzer: the
+// operation keys the query selected, the state and global results, and
+// provenance.
+type Report struct {
+	SwitchID string
+	QueryID  int
+	TS       uint64
+	Keys     fields.Vector
+	KeyMask  fields.Mask
+	State    uint64
+	Global   uint64
+}
+
+// Context is the per-packet execution context handed to the monitoring
+// program: the PHV, the packet itself, and the switch services the
+// program may invoke (mirroring a report, consulting the SP header).
+type Context struct {
+	PHV fields.PHV
+	Pkt *packet.Packet
+
+	// OutSP is the result-snapshot header the program wants on the
+	// packet when it leaves this switch: nil strips any inbound SP (the
+	// query finished or stopped here), non-nil carries state to the next
+	// partition (§5.1). The deparser applies it after the program runs.
+	OutSP *packet.SPHeader
+
+	sw *Switch
+}
+
+// Mirror emits a monitoring report to the switch's report sink.
+func (c *Context) Mirror(r Report) {
+	r.SwitchID = c.sw.ID
+	r.TS = c.Pkt.TS
+	c.sw.reports = append(c.sw.reports, r)
+}
+
+// Program is the monitoring logic installed in the pipeline — for Newton
+// the module engine; baselines install their own export disciplines.
+type Program interface {
+	// Execute runs the program over one packet's context.
+	Execute(ctx *Context)
+}
+
+// DropAction and ForwardAction are the forwarding-table actions.
+type (
+	// ForwardAction sends the packet out Port.
+	ForwardAction struct{ Port int }
+	// DropAction discards the packet.
+	DropAction struct{}
+)
+
+// ActionName implements Action.
+func (ForwardAction) ActionName() string { return "forward" }
+
+// ActionName implements Action.
+func (DropAction) ActionName() string { return "drop" }
+
+// Counters tracks a switch's packet counters.
+type Counters struct {
+	Rx, Tx, Dropped uint64
+}
+
+// Switch models one programmable switch: an L3 forwarding table (the
+// "normal packet forwarding" Newton must not disturb), an optional
+// monitoring program, mirroring, and liveness (the Sonata baseline takes
+// the switch down to reload its P4 program; Newton never does).
+type Switch struct {
+	ID       string
+	Pipeline *Pipeline
+
+	// Forwarding is an LPM table on the destination address. Its entry
+	// count drives the Figure 10 interruption experiment.
+	Forwarding *Table
+
+	// Monitor is the installed monitoring program (nil = none).
+	Monitor Program
+
+	up       bool
+	counters Counters
+	reports  []Report
+}
+
+// NewSwitch builds a switch with the given pipeline geometry.
+func NewSwitch(id string, stages int, capacity Resources) *Switch {
+	return &Switch{
+		ID:         id,
+		Pipeline:   NewPipeline(stages, capacity),
+		Forwarding: NewTable(id+"/ipv4_lpm", MatchLPM, 1, 1<<20),
+		up:         true,
+	}
+}
+
+// Up reports whether the switch is forwarding.
+func (sw *Switch) Up() bool { return sw.up }
+
+// SetUp changes the switch's liveness (the reboot model's lever).
+func (sw *Switch) SetUp(up bool) { sw.up = up }
+
+// Counters returns a copy of the packet counters.
+func (sw *Switch) Counters() Counters { return sw.counters }
+
+// AddRoute installs a destination route: prefix/plen -> egress port.
+func (sw *Switch) AddRoute(prefix uint32, plen int, port int) error {
+	mask := uint64(fields.Prefix(fields.DstIP, plen))
+	_, err := sw.Forwarding.AddRule(
+		[]uint64{uint64(prefix) & mask}, []uint64{mask}, 0, ForwardAction{Port: port})
+	return err
+}
+
+// Process runs one packet through the switch: parse, monitor, forward.
+// It returns the egress port (-1 when dropped) and whether the packet
+// was forwarded. Reports generated by the monitor are buffered on the
+// switch until DrainReports.
+func (sw *Switch) Process(pkt *packet.Packet) (egress int, forwarded bool) {
+	sw.counters.Rx++
+	if !sw.up {
+		sw.counters.Dropped++
+		return -1, false
+	}
+
+	if sw.Monitor != nil {
+		ctx := Context{Pkt: pkt, sw: sw}
+		ctx.PHV.Fields = pkt.Fields()
+		ctx.PHV.QueryID = -1
+		sw.Monitor.Execute(&ctx)
+		pkt.SP = ctx.OutSP // deparser: attach, forward, or strip the snapshot
+	}
+
+	rule := sw.Forwarding.Lookup(uint64(pkt.IP.Dst))
+	if rule == nil {
+		sw.counters.Dropped++
+		return -1, false
+	}
+	switch a := rule.Action.(type) {
+	case ForwardAction:
+		sw.counters.Tx++
+		return a.Port, true
+	case DropAction:
+		sw.counters.Dropped++
+		return -1, false
+	default:
+		sw.counters.Dropped++
+		return -1, false
+	}
+}
+
+// DrainReports returns and clears the buffered monitoring reports.
+func (sw *Switch) DrainReports() []Report {
+	r := sw.reports
+	sw.reports = nil
+	return r
+}
+
+// PendingReports returns the number of buffered reports without draining.
+func (sw *Switch) PendingReports() int { return len(sw.reports) }

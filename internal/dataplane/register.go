@@ -1,0 +1,102 @@
+package dataplane
+
+import "fmt"
+
+// SALUOp is one of the stateful-ALU operations the state bank supports
+// (§4.1: "Newton supports four types of ALU. As BF needs | and CM needs
+// +, the supported ALUs are sufficient").
+type SALUOp int
+
+const (
+	// OpRead returns the register value unchanged.
+	OpRead SALUOp = iota
+	// OpWrite stores the operand and returns it.
+	OpWrite
+	// OpAdd adds the operand and returns the new value (a Count-Min
+	// row's increment-and-read).
+	OpAdd
+	// OpOr ORs the operand in and returns the previous value (a Bloom
+	// filter's test-and-set).
+	OpOr
+	numSALUOps
+)
+
+var saluNames = [numSALUOps]string{"read", "write", "add", "or"}
+
+// String names the ALU operation.
+func (op SALUOp) String() string {
+	if op >= 0 && op < numSALUOps {
+		return saluNames[op]
+	}
+	return fmt.Sprintf("salu(%d)", int(op))
+}
+
+// RegisterArray is a stage's stateful memory: a line-rate-transactional
+// array of 32-bit registers, each access performing one SALU operation.
+//
+// Registers are epoch-tagged to implement windowed reset lazily: the
+// controller bumps the epoch every window (100 ms in the evaluation), and
+// a register written in an older epoch reads as zero. This reproduces
+// the "values of reduce and distinct are evaluated and reset every 100ms"
+// discipline without a control-plane sweep.
+type RegisterArray struct {
+	Name string
+
+	vals   []uint32
+	epochs []uint32
+	epoch  uint32
+}
+
+// NewRegisterArray allocates an array of size registers.
+func NewRegisterArray(name string, size uint32) *RegisterArray {
+	if size == 0 {
+		panic("dataplane: zero-size register array")
+	}
+	return &RegisterArray{
+		Name:   name,
+		vals:   make([]uint32, size),
+		epochs: make([]uint32, size),
+	}
+}
+
+// Size returns the number of registers.
+func (ra *RegisterArray) Size() uint32 { return uint32(len(ra.vals)) }
+
+// NextEpoch starts a new window: all registers read as zero until
+// rewritten.
+func (ra *RegisterArray) NextEpoch() { ra.epoch++ }
+
+// Epoch returns the current window number.
+func (ra *RegisterArray) Epoch() uint32 { return ra.epoch }
+
+// Exec performs one stateful-ALU transaction on register idx and returns
+// the op's result. Out-of-range indices panic: the hash-calculation
+// module is responsible for folding hash results into range, and an
+// out-of-range access is a compiler bug, not a runtime condition.
+func (ra *RegisterArray) Exec(op SALUOp, idx uint32, operand uint32) uint32 {
+	if idx >= uint32(len(ra.vals)) {
+		panic(fmt.Sprintf("dataplane: register %s[%d] out of range (size %d)", ra.Name, idx, len(ra.vals)))
+	}
+	if ra.epochs[idx] != ra.epoch {
+		ra.epochs[idx] = ra.epoch
+		ra.vals[idx] = 0
+	}
+	switch op {
+	case OpRead:
+		return ra.vals[idx]
+	case OpWrite:
+		ra.vals[idx] = operand
+		return operand
+	case OpAdd:
+		ra.vals[idx] += operand
+		return ra.vals[idx]
+	case OpOr:
+		old := ra.vals[idx]
+		ra.vals[idx] |= operand
+		return old
+	}
+	panic(fmt.Sprintf("dataplane: unknown SALU op %d", op))
+}
+
+// MemoryBytes returns the SRAM footprint of the value array.
+func (ra *RegisterArray) MemoryBytes() int { return len(ra.vals) * 4 }

@@ -1,0 +1,244 @@
+// Package dataplane simulates a PISA-style programmable switch pipeline:
+// match-action tables with runtime rule updates, register arrays with
+// stateful ALUs, physical stages with per-resource-type capacity
+// accounting (crossbar, SRAM, TCAM, VLIW, hash bits, stateful ALUs,
+// gateways), an L3 forwarding table, and mirroring. It is the substrate
+// Newton's reconfigurable modules are built on; it stands in for the
+// Tofino ASIC of the paper's testbed.
+//
+// The simulator is deliberately behavioural, not timing-accurate: every
+// evaluation quantity in the paper (rule counts, stage counts, message
+// counts, register sizes, forwarding interruption) is a count or a
+// discipline, not a silicon latency.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MatchKind distinguishes the matching disciplines a table supports. All
+// kinds reduce to ternary matching internally (exact = full mask, LPM =
+// prefix mask with prefix-length priority), mirroring how RMT unifies
+// them over TCAM/SRAM.
+type MatchKind int
+
+const (
+	// MatchExact matches all columns under full masks.
+	MatchExact MatchKind = iota
+	// MatchTernary matches value/mask pairs with explicit priorities.
+	MatchTernary
+	// MatchLPM is longest-prefix match on the first column.
+	MatchLPM
+)
+
+// String names the match kind as P4 would.
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchTernary:
+		return "ternary"
+	case MatchLPM:
+		return "lpm"
+	}
+	return fmt.Sprintf("matchkind(%d)", int(k))
+}
+
+// Action is what a matching rule executes. Concrete actions are defined
+// by whoever programs the table (the modules package for Newton tables,
+// the switch itself for forwarding).
+type Action interface {
+	// ActionName identifies the action for rule dumps and tests.
+	ActionName() string
+}
+
+// Rule is one table entry: per-column value/mask pairs, a priority, and
+// an action. Higher priority wins; insertion order breaks ties (as if
+// earlier rules sat higher in TCAM).
+type Rule struct {
+	ID       int
+	Priority int
+	Values   []uint64
+	Masks    []uint64
+	Action   Action
+
+	seq int // insertion sequence for stable tie-breaking
+}
+
+// Matches reports whether the rule matches the given column values.
+func (r *Rule) Matches(vals []uint64) bool {
+	for i := range r.Values {
+		if vals[i]&r.Masks[i] != r.Values[i]&r.Masks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is a match-action table with runtime-updatable rules — the
+// reconfigurable component Newton leans on (§2.1: "match-action table
+// rules belong to [runtime reconfigurability]").
+type Table struct {
+	Name       string
+	Kind       MatchKind
+	Cols       int // number of match columns
+	MaxEntries int
+
+	mu     sync.RWMutex
+	rules  []*Rule // sorted: priority desc, then seq asc
+	byID   map[int]*Rule
+	nextID int
+	seq    int
+
+	// Default is executed when no rule matches (may be nil).
+	Default Action
+}
+
+// NewTable builds an empty table.
+func NewTable(name string, kind MatchKind, cols, maxEntries int) *Table {
+	if cols <= 0 {
+		panic("dataplane: table needs at least one match column")
+	}
+	if maxEntries <= 0 {
+		maxEntries = 1 << 20
+	}
+	return &Table{
+		Name: name, Kind: kind, Cols: cols, MaxEntries: maxEntries,
+		byID: make(map[int]*Rule),
+	}
+}
+
+// AddRule installs a rule at runtime and returns its ID. Exact-match
+// rules may omit masks (full masks are implied). For LPM the mask of the
+// first column determines priority (longer prefix wins).
+func (t *Table) AddRule(values, masks []uint64, priority int, action Action) (int, error) {
+	if len(values) != t.Cols {
+		return 0, fmt.Errorf("dataplane: table %s wants %d columns, got %d", t.Name, t.Cols, len(values))
+	}
+	if masks == nil {
+		masks = make([]uint64, t.Cols)
+		for i := range masks {
+			masks[i] = ^uint64(0)
+		}
+	}
+	if len(masks) != t.Cols {
+		return 0, fmt.Errorf("dataplane: table %s mask arity mismatch", t.Name)
+	}
+	if t.Kind == MatchExact {
+		for i, m := range masks {
+			if m != ^uint64(0) {
+				return 0, fmt.Errorf("dataplane: exact table %s got partial mask on column %d", t.Name, i)
+			}
+		}
+	}
+	if t.Kind == MatchLPM {
+		priority = prefixLen(masks[0])
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.rules) >= t.MaxEntries {
+		return 0, fmt.Errorf("dataplane: table %s full (%d entries)", t.Name, t.MaxEntries)
+	}
+	t.nextID++
+	t.seq++
+	r := &Rule{
+		ID: t.nextID, Priority: priority,
+		Values: append([]uint64(nil), values...),
+		Masks:  append([]uint64(nil), masks...),
+		Action: action, seq: t.seq,
+	}
+	t.rules = append(t.rules, r)
+	sort.SliceStable(t.rules, func(i, j int) bool {
+		if t.rules[i].Priority != t.rules[j].Priority {
+			return t.rules[i].Priority > t.rules[j].Priority
+		}
+		return t.rules[i].seq < t.rules[j].seq
+	})
+	t.byID[r.ID] = r
+	return r.ID, nil
+}
+
+// RemoveRule deletes a rule by ID at runtime.
+func (t *Table) RemoveRule(id int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byID[id]; !ok {
+		return fmt.Errorf("dataplane: table %s has no rule %d", t.Name, id)
+	}
+	delete(t.byID, id)
+	for i, r := range t.rules {
+		if r.ID == id {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Lookup returns the highest-priority matching rule, or nil.
+func (t *Table) Lookup(vals ...uint64) *Rule {
+	if len(vals) != t.Cols {
+		panic(fmt.Sprintf("dataplane: table %s lookup with %d values, want %d", t.Name, len(vals), t.Cols))
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rules {
+		if r.Matches(vals) {
+			return r
+		}
+	}
+	return nil
+}
+
+// LookupAll returns every matching rule in priority order. Newton's
+// newton_init uses it to dispatch one packet to every query chain that
+// monitors its traffic class ("Newton chains the queries monitoring the
+// same traffic", §4.1).
+func (t *Table) LookupAll(vals ...uint64) []*Rule {
+	if len(vals) != t.Cols {
+		panic(fmt.Sprintf("dataplane: table %s lookup with %d values, want %d", t.Name, len(vals), t.Cols))
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Rule
+	for _, r := range t.rules {
+		if r.Matches(vals) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Entries returns the current rule count.
+func (t *Table) Entries() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rules)
+}
+
+// Clear removes all rules (used by the Sonata reboot model).
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = nil
+	t.byID = make(map[int]*Rule)
+}
+
+// Rules returns a snapshot of the rules in match order.
+func (t *Table) Rules() []*Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Rule(nil), t.rules...)
+}
+
+func prefixLen(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		n += int(mask & 1)
+		mask >>= 1
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment is a pure function from parameters to
+// a result struct whose String method prints the same rows or series the
+// paper reports; cmd/newton-bench runs them from the command line and
+// the repository-root benchmarks wrap them in testing.B.
+//
+// Absolute numbers differ from the paper's Tofino testbed — the
+// substrate here is a behavioural simulator — but each experiment
+// preserves the published shape: who wins, by roughly what factor, and
+// where crossovers fall. EXPERIMENTS.md records paper-vs-measured for
+// every entry.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders aligned text tables for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.3f%%", v*100) }
+func sci(v float64) string { return fmt.Sprintf("%.2e", v) }
+func i2s(v int) string     { return fmt.Sprintf("%d", v) }

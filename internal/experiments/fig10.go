@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/newton-net/newton/internal/controller"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/topology"
+)
+
+// Fig10Result reproduces Fig. 10: the forwarding interruption a query
+// update causes under Sonata versus Newton.
+type Fig10Result struct {
+	// Throughput is panel (a): delivered packets per one-second bucket
+	// while a query update lands mid-run, for both systems.
+	BucketSeconds  int
+	SonataSeries   []uint64
+	NewtonSeries   []uint64
+	SonataOutage   time.Duration
+	NewtonOpDelay  time.Duration
+	SonataDropped  uint64
+	NewtonDropped  uint64
+	UpdateAtSecond int
+
+	// Interruption is panel (b): Sonata's interruption delay as the
+	// forwarding state grows (10K–60K entries).
+	Entries      []int
+	Interruption []time.Duration
+}
+
+// Fig10Interruption runs both panels. Offered load is a constant pps
+// stream through one switch; the update fires mid-run.
+func Fig10Interruption(pps int, seconds int, fwdEntries int) *Fig10Result {
+	if pps == 0 {
+		pps = 2000
+	}
+	if seconds == 0 {
+		seconds = 40
+	}
+	if fwdEntries == 0 {
+		fwdEntries = 20000
+	}
+	res := &Fig10Result{BucketSeconds: 1, UpdateAtSecond: 5}
+
+	run := func(sonata bool) ([]uint64, time.Duration, uint64) {
+		topo, h1, h2 := topology.Linear(1)
+		net, err := netsim.New(topo, netsim.Config{})
+		if err != nil {
+			panic(err)
+		}
+		sw := topo.Switches()[0]
+		series := make([]uint64, seconds)
+		var opDur time.Duration
+		updated := false
+		gap := uint64(time.Second) / uint64(pps)
+		var dropped uint64
+		for i := 0; i < pps*seconds; i++ {
+			ts := uint64(i) * gap
+			if !updated && ts >= uint64(res.UpdateAtSecond)*uint64(time.Second) {
+				updated = true
+				net.AdvanceTo(ts)
+				if sonata {
+					s := controller.NewSonata(net, 1)
+					opDur = s.UpdateQueries(sw, fwdEntries)
+				} else {
+					c := controller.NewNewton(net, 1)
+					_, opDur, err = c.Install(controller.Spec{Query: query.Q6(30)})
+					if err != nil {
+						panic(err)
+					}
+				}
+			}
+			pkt := &packet.Packet{TS: ts,
+				IP:  packet.IPv4{Proto: packet.ProtoUDP, Src: uint32(i), Dst: 0x0A000001},
+				UDP: &packet.UDP{SrcPort: 1000, DstPort: 2000}}
+			if _, ok := net.Deliver(pkt, h1, h2); ok {
+				if b := int(ts / uint64(time.Second)); b < seconds {
+					series[b]++
+				}
+			} else {
+				dropped++
+			}
+		}
+		return series, opDur, dropped
+	}
+
+	res.SonataSeries, res.SonataOutage, res.SonataDropped = run(true)
+	res.NewtonSeries, res.NewtonOpDelay, res.NewtonDropped = run(false)
+
+	// Panel (b): interruption vs table entries.
+	for _, n := range []int{10000, 20000, 30000, 40000, 50000, 60000} {
+		topo, _, _ := topology.Linear(1)
+		net, err := netsim.New(topo, netsim.Config{})
+		if err != nil {
+			panic(err)
+		}
+		s := controller.NewSonata(net, int64(n))
+		res.Entries = append(res.Entries, n)
+		res.Interruption = append(res.Interruption, s.UpdateQueries(topo.Switches()[0], n))
+	}
+	return res
+}
+
+// String renders both panels.
+func (r *Fig10Result) String() string {
+	ta := &table{header: []string{"Second", "Sonata pps", "Newton pps"}}
+	for i := range r.SonataSeries {
+		ta.add(i2s(i), fmt.Sprintf("%d", r.SonataSeries[i]), fmt.Sprintf("%d", r.NewtonSeries[i]))
+	}
+	tb := &table{header: []string{"Fwd entries", "Sonata interruption"}}
+	for i, n := range r.Entries {
+		tb.add(i2s(n), r.Interruption[i].Round(time.Millisecond).String())
+	}
+	return fmt.Sprintf(
+		"Fig. 10: interruption of query updates (update at t=%ds)\n"+
+			"(a) throughput during update — Sonata outage %v (dropped %d pkts), Newton op delay %v (dropped %d pkts)\n%s\n"+
+			"(b) Sonata interruption vs forwarding entries\n%s",
+		r.UpdateAtSecond,
+		r.SonataOutage.Round(time.Millisecond), r.SonataDropped,
+		r.NewtonOpDelay.Round(time.Millisecond), r.NewtonDropped,
+		ta.String(), tb.String())
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/newton-net/newton/internal/controller"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/topology"
+)
+
+// Fig11Row is one query's operation-delay statistics over the repeated
+// trials.
+type Fig11Row struct {
+	Query                           string
+	Rules                           int
+	InstallMin, InstallAvg, Max     time.Duration
+	RemoveMin, RemoveAvg, RemoveMax time.Duration
+}
+
+// Fig11Result reproduces Fig. 11: install and removal delay of the nine
+// queries over repeated trials (the paper repeats 100 times; all
+// operations complete within ~20 ms, Q1 as low as ~5 ms).
+type Fig11Result struct {
+	Trials int
+	Rows   []Fig11Row
+}
+
+// Fig11OperationDelay measures the rule-operation latency model over
+// `trials` repetitions per query on the three-switch testbed topology.
+func Fig11OperationDelay(trials int) *Fig11Result {
+	if trials == 0 {
+		trials = 100
+	}
+	topo, _, _ := topology.Linear(3)
+	net, err := netsim.New(topo, netsim.Config{Stages: 16, ArraySize: 1 << 15})
+	if err != nil {
+		panic(err)
+	}
+	c := controller.NewNewton(net, 99)
+	res := &Fig11Result{Trials: trials}
+	for i, q := range query.All() {
+		row := Fig11Row{Query: fmt.Sprintf("Q%d", i+1)}
+		var sumIn, sumOut time.Duration
+		row.InstallMin, row.RemoveMin = time.Hour, time.Hour
+		for n := 0; n < trials; n++ {
+			dep, dIn, err := c.Install(controller.Spec{Query: q})
+			if err != nil {
+				panic(err)
+			}
+			row.Rules = dep.Rules / len(dep.Switches)
+			dOut, err := c.Remove(dep.QID)
+			if err != nil {
+				panic(err)
+			}
+			sumIn += dIn
+			sumOut += dOut
+			if dIn < row.InstallMin {
+				row.InstallMin = dIn
+			}
+			if dIn > row.Max {
+				row.Max = dIn
+			}
+			if dOut < row.RemoveMin {
+				row.RemoveMin = dOut
+			}
+			if dOut > row.RemoveMax {
+				row.RemoveMax = dOut
+			}
+		}
+		row.InstallAvg = sumIn / time.Duration(trials)
+		row.RemoveAvg = sumOut / time.Duration(trials)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders the per-query delay table.
+func (r *Fig11Result) String() string {
+	t := &table{header: []string{"Query", "Rules/switch",
+		"Install min", "Install avg", "Install max",
+		"Remove min", "Remove avg", "Remove max"}}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.2fms", float64(d)/1e6) }
+	for _, row := range r.Rows {
+		t.add(row.Query, i2s(row.Rules),
+			ms(row.InstallMin), ms(row.InstallAvg), ms(row.Max),
+			ms(row.RemoveMin), ms(row.RemoveAvg), ms(row.RemoveMax))
+	}
+	return fmt.Sprintf("Fig. 11: query install/removal delay (%d trials; paper: <=20ms, Q1 ~5ms)\n%s",
+		r.Trials, t.String())
+}

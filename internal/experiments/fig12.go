@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/newton-net/newton/internal/analyzer"
+	"github.com/newton-net/newton/internal/baselines"
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/topology"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+// Fig12Row is one (trace, system) overhead measurement.
+type Fig12Row struct {
+	Trace    string
+	System   baselines.System
+	Messages int
+	Packets  int
+	Overhead float64
+}
+
+// Fig12Result reproduces Fig. 12: monitoring overhead (messages per raw
+// packet) of Newton and five countermeasures on the two trace profiles.
+// Newton's row is measured from the simulated data plane with all nine
+// queries installed; Sonata's accurate exportation comes from the exact
+// reference engine; the rest follow their published export disciplines.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// evalTrace builds the standard evaluation workload on a profile:
+// realistic background plus every attack the nine queries target.
+func evalTrace(profile trace.Profile, seed int64, flows int, dur time.Duration) *trace.Trace {
+	return trace.Generate(trace.Config{Seed: seed, Profile: profile, Flows: flows, Duration: dur},
+		trace.SYNFlood{Victim: 0x0A0000AA, Packets: 600},
+		trace.UDPFlood{Victim: 0x0A0000AB, Sources: 150},
+		trace.PortScan{Scanner: 0x0B000001, Victim: 0x0A0000AC, Ports: 200},
+		trace.SSHBrute{Victim: 0x0A0000AD, Attempts: 100},
+		trace.Slowloris{Victim: 0x0A0000AE, Conns: 150},
+		trace.DNSNoTCP{Hosts: 5, Queries: 30},
+		trace.SuperSpreader{Source: 0x0B000002, Fanout: 200},
+	)
+}
+
+// Fig12Overhead measures all six systems on both trace profiles.
+func Fig12Overhead(flows int, dur time.Duration) *Fig12Result {
+	if flows == 0 {
+		flows = 3000
+	}
+	if dur == 0 {
+		dur = 500 * time.Millisecond
+	}
+	res := &Fig12Result{}
+	window := uint64(100 * time.Millisecond)
+
+	for _, profile := range []trace.Profile{trace.CAIDA, trace.MAWI} {
+		tr := evalTrace(profile, 1234, flows, dur)
+		n := len(tr.Packets)
+
+		// Newton: all nine queries on one simulated switch.
+		newtonMsgs := measureNewtonReports(tr, window)
+
+		sonata := 0
+		for _, q := range query.All() {
+			sonata += baselines.SonataMessages(q, tr.Packets)
+		}
+
+		add := func(sys baselines.System, msgs int) {
+			res.Rows = append(res.Rows, Fig12Row{
+				Trace: profile.String(), System: sys,
+				Messages: msgs, Packets: n,
+				Overhead: baselines.Overhead(msgs, n),
+			})
+		}
+		add(baselines.Newton, newtonMsgs)
+		add(baselines.Sonata, sonata)
+		add(baselines.TurboFlow, baselines.TurboFlowMessages(tr.Packets, window))
+		add(baselines.StarFlow, baselines.StarFlowMessages(tr.Packets, window))
+		add(baselines.FlowRadar, baselines.FlowRadarMessages(tr.Packets, window))
+		add(baselines.Scream, baselines.ScreamMessages(tr.Packets, window))
+	}
+	return res
+}
+
+// measureNewtonReports installs the nine queries on one switch and
+// counts the reports the data plane mirrors for the trace.
+func measureNewtonReports(tr *trace.Trace, window uint64) int {
+	topo, h1, h2 := topology.Linear(1)
+	net, err := netsim.New(topo, netsim.Config{Stages: 16, ArraySize: 1 << 16})
+	if err != nil {
+		panic(err)
+	}
+	sw := net.Node(topo.Switches()[0])
+	for i, q := range query.All() {
+		o := compiler.AllOpts()
+		o.QID = i + 1
+		o.Width = 1 << 12
+		p, err := compiler.Compile(q, o)
+		if err != nil {
+			panic(err)
+		}
+		if err := sw.Eng.Install(p); err != nil {
+			panic(err)
+		}
+	}
+	for _, pkt := range tr.Packets {
+		net.Deliver(pkt, h1, h2)
+	}
+	col := analyzer.NewCollector(window, query.Q1(1).ReportKeys())
+	col.AddAll(net.DrainReports())
+	return col.Raw
+}
+
+// String renders the overhead comparison.
+func (r *Fig12Result) String() string {
+	t := &table{header: []string{"Trace", "System", "Messages", "Packets", "Msgs/packet"}}
+	for _, row := range r.Rows {
+		t.add(row.Trace, row.System.String(), i2s(row.Messages), i2s(row.Packets), sci(row.Overhead))
+	}
+	return "Fig. 12: monitoring overheads (paper: Newton/Sonata ~2 orders below the rest)\n" + t.String()
+}

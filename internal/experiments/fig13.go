@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/newton-net/newton/internal/analyzer"
+	"github.com/newton-net/newton/internal/baselines"
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/topology"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+// Fig13Row is one (hops, system) point of the network-wide overhead
+// comparison for Q1.
+type Fig13Row struct {
+	Hops     int
+	System   baselines.System
+	Messages int
+	Overhead float64
+}
+
+// Fig13Result reproduces Fig. 13: network-wide monitoring overhead of Q1
+// versus forwarding-path length. The baselines treat every switch as an
+// independent entity, so their message counts grow linearly with the hop
+// count; Newton's cross-switch execution treats the path as one
+// consolidated entity and reports once.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Fig13CQEOverhead sweeps the hop count.
+func Fig13CQEOverhead(maxHops int) *Fig13Result {
+	if maxHops == 0 {
+		maxHops = 5
+	}
+	tr := trace.Generate(trace.Config{Seed: 77, Flows: 1500, Duration: 300 * time.Millisecond},
+		trace.SYNFlood{Victim: 0x0A0000AA, Packets: 500},
+		trace.SYNFlood{Victim: 0x0A0000AB, Packets: 500})
+	window := uint64(100 * time.Millisecond)
+	n := len(tr.Packets)
+
+	// Per-switch baseline message counts (independent of path position).
+	perSwitch := map[baselines.System]int{
+		baselines.Sonata:    baselines.SonataMessages(query.Q1(40), tr.Packets),
+		baselines.TurboFlow: baselines.TurboFlowMessages(tr.Packets, window),
+		baselines.StarFlow:  baselines.StarFlowMessages(tr.Packets, window),
+		baselines.FlowRadar: baselines.FlowRadarMessages(tr.Packets, window),
+		baselines.Scream:    baselines.ScreamMessages(tr.Packets, window),
+	}
+
+	res := &Fig13Result{}
+	for h := 1; h <= maxHops; h++ {
+		// Newton: Q1 key-sharded across the h switches of the path.
+		newtonMsgs := measureShardedReports(tr, h, window)
+		res.Rows = append(res.Rows, Fig13Row{
+			Hops: h, System: baselines.Newton,
+			Messages: newtonMsgs, Overhead: baselines.Overhead(newtonMsgs, n),
+		})
+		for _, sys := range []baselines.System{
+			baselines.Sonata, baselines.TurboFlow, baselines.StarFlow,
+			baselines.FlowRadar, baselines.Scream,
+		} {
+			msgs := perSwitch[sys] * h
+			res.Rows = append(res.Rows, Fig13Row{
+				Hops: h, System: sys,
+				Messages: msgs, Overhead: baselines.Overhead(msgs, n),
+			})
+		}
+	}
+	return res
+}
+
+// measureShardedReports runs Q1 sharded over an h-switch line.
+func measureShardedReports(tr *trace.Trace, hops int, window uint64) int {
+	topo, h1, h2 := topology.Linear(hops)
+	net, err := netsim.New(topo, netsim.Config{Stages: 12, ArraySize: 1 << 14})
+	if err != nil {
+		panic(err)
+	}
+	sws := topo.Switches()
+	for i, id := range sws {
+		o := compiler.AllOpts()
+		o.QID = 1
+		o.Width = 1 << 12
+		o.ShardIndex, o.ShardCount = uint32(i), uint32(len(sws))
+		p, err := compiler.Compile(query.Q1(40), o)
+		if err != nil {
+			panic(err)
+		}
+		if err := net.Node(id).Eng.Install(p); err != nil {
+			panic(err)
+		}
+	}
+	for _, pkt := range tr.Packets {
+		net.Deliver(pkt, h1, h2)
+	}
+	col := analyzer.NewCollector(window, query.Q1(40).ReportKeys())
+	col.AddAll(net.DrainReports())
+	return col.Raw
+}
+
+// String renders the hop sweep grouped by system.
+func (r *Fig13Result) String() string {
+	t := &table{header: []string{"Hops", "System", "Messages", "Msgs/packet"}}
+	for _, row := range r.Rows {
+		t.add(i2s(row.Hops), row.System.String(), i2s(row.Messages), sci(row.Overhead))
+	}
+	return fmt.Sprintf("Fig. 13: network-wide overhead of Q1 vs path length (paper: Newton flat, others linear)\n%s", t.String())
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/query"
+)
+
+// Fig15Row is one query's compilation footprint across the optimization
+// ladder of §6.4 plus the Sonata comparison of Fig. 15d/e.
+type Fig15Row struct {
+	Query      string
+	Primitives int
+
+	// Modules and Stages at each step: baseline, +Opt1, +Opt1+2, +Opt1+2+3.
+	Modules [4]int
+	Stages  [4]int
+
+	// Reductions from baseline to fully optimized (the Fig. 7 ratios).
+	ModuleReduction float64
+	StageReduction  float64
+
+	SonataTables, SonataStages int
+}
+
+// Fig15Result is the full compilation evaluation.
+type Fig15Result struct {
+	Rows []Fig15Row
+
+	// MinModuleReduction / MinStageReduction are the §6.4 headline
+	// claims (paper: 42.4% and 69.7%).
+	MinModuleReduction, MinStageReduction float64
+}
+
+// Fig15Compilation compiles the nine evaluation queries at every
+// optimization step.
+func Fig15Compilation() *Fig15Result {
+	steps := []compiler.Options{
+		compiler.Baseline(),
+		{Opt1: true},
+		{Opt1: true, Opt2: true},
+		compiler.AllOpts(),
+	}
+	res := &Fig15Result{MinModuleReduction: 1, MinStageReduction: 1}
+	for i, q := range query.All() {
+		row := Fig15Row{Query: fmt.Sprintf("Q%d", i+1), Primitives: q.NumPrimitives()}
+		for si, o := range steps {
+			o.QID = i + 1
+			p, err := compiler.Compile(q, o)
+			if err != nil {
+				panic(err) // queries are static; failure is a bug
+			}
+			s := compiler.Measure(q, p)
+			row.Modules[si], row.Stages[si] = s.Modules, s.Stages
+		}
+		row.ModuleReduction = 1 - float64(row.Modules[3])/float64(row.Modules[0])
+		row.StageReduction = 1 - float64(row.Stages[3])/float64(row.Stages[0])
+		row.SonataTables, row.SonataStages = compiler.SonataEstimate(q)
+		if row.ModuleReduction < res.MinModuleReduction {
+			res.MinModuleReduction = row.ModuleReduction
+		}
+		if row.StageReduction < res.MinStageReduction {
+			res.MinStageReduction = row.StageReduction
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders Fig. 15's three panels plus the Fig. 7 ratios.
+func (r *Fig15Result) String() string {
+	t := &table{header: []string{"Query", "Prims",
+		"Mod base", "Mod +O1", "Mod +O12", "Mod +O123",
+		"Stg base", "Stg +O1", "Stg +O12", "Stg +O123",
+		"Mod red", "Stg red", "Sonata tbl", "Sonata stg"}}
+	for _, row := range r.Rows {
+		t.add(row.Query, i2s(row.Primitives),
+			i2s(row.Modules[0]), i2s(row.Modules[1]), i2s(row.Modules[2]), i2s(row.Modules[3]),
+			i2s(row.Stages[0]), i2s(row.Stages[1]), i2s(row.Stages[2]), i2s(row.Stages[3]),
+			pct(row.ModuleReduction), pct(row.StageReduction),
+			i2s(row.SonataTables), i2s(row.SonataStages))
+	}
+	return fmt.Sprintf(
+		"Fig. 15 / Fig. 7: query compilation (paper: modules -42.4%%+, stages -69.7%%+)\n%s"+
+			"minimum reductions: modules %s, stages %s\n",
+		t.String(), pct(r.MinModuleReduction), pct(r.MinStageReduction))
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/query"
+)
+
+// Fig16Row is one concurrency level of the Fig. 16 comparison: resource
+// consumption when N copies of Q4 run concurrently.
+type Fig16Row struct {
+	Queries int
+
+	// Sonata chains the queries in its pipeline: tables and stages grow
+	// linearly.
+	SonataTables, SonataStages int
+
+	// S-Newton chains the copies over the same traffic: modules and
+	// stages grow linearly (every copy needs its own chain).
+	SNewtonModules, SNewtonStages int
+
+	// P-Newton multiplexes: the copies monitor different traffic, so
+	// they share the same modules and stages and only add table rules.
+	PNewtonModules, PNewtonStages, PNewtonRules int
+}
+
+// Fig16Result is the resource-multiplexing evaluation.
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Fig16Multiplexing evaluates 1..maxN concurrent copies of Q4. The
+// P-Newton rows are measured by actually installing the copies (with
+// distinct traffic classes) into one compact layout.
+func Fig16Multiplexing(levels []int) *Fig16Result {
+	if len(levels) == 0 {
+		levels = []int{1, 10, 25, 50, 75, 100}
+	}
+	q := query.Q4(40)
+	o := compiler.AllOpts()
+	o.QID = 1
+	one, err := compiler.Compile(q, o)
+	if err != nil {
+		panic(err)
+	}
+	oneStats := compiler.Measure(q, one)
+	sonataTables, sonataStages := compiler.SonataEstimate(q)
+
+	res := &Fig16Result{}
+	for _, n := range levels {
+		row := Fig16Row{
+			Queries:        n,
+			SonataTables:   n * sonataTables,
+			SonataStages:   n * sonataStages,
+			SNewtonModules: n * oneStats.Modules,
+			SNewtonStages:  n * oneStats.Stages,
+		}
+		// P-Newton: install n copies for disjoint traffic classes into a
+		// single layout and read the real footprint back.
+		layout, err := modules.NewLayout(modules.LayoutCompact, 16, 1<<16)
+		if err != nil {
+			panic(err)
+		}
+		eng := modules.NewEngine(layout)
+		for i := 0; i < n; i++ {
+			oi := compiler.AllOpts()
+			oi.QID = i + 1
+			oi.Width = 256 // modest per-copy registers so 100 copies fit
+			p, err := compiler.Compile(q, oi)
+			if err != nil {
+				panic(err)
+			}
+			// Disjoint traffic classes: each copy monitors one /16.
+			for _, b := range p.Branches {
+				b.Init.Values[1] = uint64(i) << 16
+				b.Init.Masks[1] = 0xFFFF0000
+			}
+			if err := eng.Install(p); err != nil {
+				panic(fmt.Sprintf("installing copy %d: %v", i, err))
+			}
+		}
+		row.PNewtonModules = oneStats.Modules // shared module instances
+		row.PNewtonStages = oneStats.Stages
+		row.PNewtonRules = layout.TotalRuleEntries()
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders the Fig. 16 series.
+func (r *Fig16Result) String() string {
+	t := &table{header: []string{"Queries",
+		"Sonata tbl", "Sonata stg",
+		"S-Newton mod", "S-Newton stg",
+		"P-Newton mod", "P-Newton stg", "P-Newton rules"}}
+	for _, row := range r.Rows {
+		t.add(i2s(row.Queries),
+			i2s(row.SonataTables), i2s(row.SonataStages),
+			i2s(row.SNewtonModules), i2s(row.SNewtonStages),
+			i2s(row.PNewtonModules), i2s(row.PNewtonStages), i2s(row.PNewtonRules))
+	}
+	return "Fig. 16: resource multiplexing over concurrent Q4 copies\n" + t.String()
+}

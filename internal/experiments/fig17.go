@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/placement"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/topology"
+)
+
+// Fig17aRow is one point of Fig. 17(a): Q4 deployed with a given number
+// of required switches (partitions) on the 8-ary fat-tree and on the ISP
+// backbone.
+type Fig17aRow struct {
+	StagesPerSwitch  int
+	RequiredSwitches int
+
+	FatTreeTotal int
+	FatTreeAvg   float64
+	ISPTotal     int
+	ISPAvg       float64
+}
+
+// Fig17bRow is one point of Fig. 17(b): table entries vs. fat-tree
+// scale at a fixed partitioning.
+type Fig17bRow struct {
+	Arity    int
+	Switches int
+	Total    int
+	Avg      float64
+}
+
+// Fig17Result is the network-wide placement evaluation.
+type Fig17Result struct {
+	QueryStages int
+	QueryRules  int
+	A           []Fig17aRow
+	B           []Fig17bRow
+}
+
+// Fig17Placement reproduces both panels. The paper assumes switches with
+// 10, 5, 4, 3, 2 Newton stages, so Q4 needs 1–5 switches.
+func Fig17Placement() *Fig17Result {
+	q := query.Q4(40)
+	o := compiler.AllOpts()
+	o.QID = 1
+	logical, err := compiler.Compile(q, o)
+	if err != nil {
+		panic(err)
+	}
+	res := &Fig17Result{
+		QueryStages: logical.NumStages(),
+		QueryRules:  logical.RuleCount(),
+	}
+
+	// partitionRules computes each partition's rule count for a given
+	// per-switch stage budget.
+	partitionRules := func(stagesPer int) []int {
+		parts, err := modules.SliceProgram(logical, stagesPer)
+		if err != nil {
+			panic(err)
+		}
+		rules := make([]int, len(parts))
+		for i, p := range parts {
+			rules[i] = p.RuleCount()
+		}
+		return rules
+	}
+
+	ft := topology.FatTree(8)
+	isp := topology.ISPBackbone()
+	// Fat-tree: monitor traffic entering the ToR switches; ISP: traffic
+	// emitted from California (§6.5).
+	ftEdges := ft.EdgeSwitches()
+	ispEdges := []int{
+		isp.NodeByName("SanFrancisco"), isp.NodeByName("Sacramento"),
+		isp.NodeByName("LosAngeles"), isp.NodeByName("SanDiego"),
+	}
+
+	total := res.QueryStages
+	for _, stagesPer := range partitionBudgets(total) {
+		rules := partitionRules(stagesPer)
+		m := len(rules)
+		ftP, _, err := placement.Place(ft, ftEdges, total, stagesPer)
+		if err != nil {
+			panic(err)
+		}
+		ispP, _, err := placement.Place(isp, ispEdges, total, stagesPer)
+		if err != nil {
+			panic(err)
+		}
+		ftTotal, ftAvg := ftP.Entries(rules)
+		ispTotal, ispAvg := ispP.Entries(rules)
+		res.A = append(res.A, Fig17aRow{
+			StagesPerSwitch: stagesPer, RequiredSwitches: m,
+			FatTreeTotal: ftTotal, FatTreeAvg: ftAvg,
+			ISPTotal: ispTotal, ISPAvg: ispAvg,
+		})
+	}
+
+	// Panel (b): scale the fat-tree at a mid partitioning (2 switches).
+	stagesPer := (total + 1) / 2
+	rules := partitionRules(stagesPer)
+	for _, k := range []int{4, 8, 12, 16, 20, 24} {
+		topo := topology.FatTree(k)
+		p, _, err := placement.Place(topo, topo.EdgeSwitches(), total, stagesPer)
+		if err != nil {
+			panic(err)
+		}
+		tot, avg := p.Entries(rules)
+		res.B = append(res.B, Fig17bRow{
+			Arity: k, Switches: len(topo.Switches()), Total: tot, Avg: avg,
+		})
+	}
+	return res
+}
+
+// partitionBudgets mirrors the paper's per-switch stage budgets (10, 5,
+// 4, 3, 2 stages → 1..5 required switches), adapted to the compiled
+// query's actual stage count.
+func partitionBudgets(totalStages int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for m := 1; m <= 5; m++ {
+		b := (totalStages + m - 1) / m
+		if !seen[b] {
+			out = append(out, b)
+			seen[b] = true
+		}
+	}
+	return out
+}
+
+// String renders both panels.
+func (r *Fig17Result) String() string {
+	ta := &table{header: []string{"Stages/switch", "Req. switches",
+		"FatTree total", "FatTree avg", "ISP total", "ISP avg"}}
+	for _, row := range r.A {
+		ta.add(i2s(row.StagesPerSwitch), i2s(row.RequiredSwitches),
+			i2s(row.FatTreeTotal), f2(row.FatTreeAvg),
+			i2s(row.ISPTotal), f2(row.ISPAvg))
+	}
+	tb := &table{header: []string{"Fat-tree k", "Switches", "Total entries", "Avg entries"}}
+	for _, row := range r.B {
+		tb.add(i2s(row.Arity), i2s(row.Switches), i2s(row.Total), f2(row.Avg))
+	}
+	return fmt.Sprintf("Fig. 17: network-wide placement of Q4 (%d stages, %d rules)\n(a) entries vs required switches\n%s\n(b) entries vs fat-tree scale\n%s",
+		r.QueryStages, r.QueryRules, ta.String(), tb.String())
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPrintSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments")
+	}
+	fmt.Println(Fig11OperationDelay(20))
+	fmt.Println(Fig12Overhead(1500, 300*time.Millisecond))
+	fmt.Println(Fig13CQEOverhead(3))
+	fmt.Println(Fig14Accuracy([]uint32{256, 1024}, 3))
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPrintSome(t *testing.T) {
+	fmt.Println(Table3())
+	fmt.Println(Fig15Compilation())
+	fmt.Println(Fig16Multiplexing([]int{1, 10, 50, 100}))
+	fmt.Println(Fig17Placement())
+}

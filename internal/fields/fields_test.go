@@ -1,0 +1,193 @@
+package fields
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDString(t *testing.T) {
+	cases := map[ID]string{
+		SrcIP: "sip", DstIP: "dip", SrcPort: "sport", DstPort: "dport",
+		Proto: "proto", TCPFlags: "tcp_flags", PktLen: "len",
+		Timestamp: "ts", TTL: "ttl",
+	}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Errorf("ID(%d).String() = %q, want %q", id, got, want)
+		}
+	}
+	if got := ID(200).String(); got != "field(200)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	for id := ID(0); id < NumFields; id++ {
+		got, err := ParseID(id.String())
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Errorf("ParseID(%q) = %v, want %v", id.String(), got, id)
+		}
+	}
+	if _, err := ParseID("nope"); err == nil {
+		t.Error("ParseID(nope) should fail")
+	}
+}
+
+func TestWidthAndMaxValue(t *testing.T) {
+	if SrcIP.Width() != 32 || SrcIP.MaxValue() != 0xFFFFFFFF {
+		t.Errorf("SrcIP width/max wrong: %d %#x", SrcIP.Width(), SrcIP.MaxValue())
+	}
+	if SrcPort.MaxValue() != 0xFFFF {
+		t.Errorf("SrcPort max = %#x", SrcPort.MaxValue())
+	}
+	if Proto.MaxValue() != 0xFF {
+		t.Errorf("Proto max = %#x", Proto.MaxValue())
+	}
+	if Timestamp.Width() != 48 {
+		t.Errorf("Timestamp width = %d", Timestamp.Width())
+	}
+}
+
+func TestKeepMask(t *testing.T) {
+	m := Keep(DstIP, SrcPort)
+	var v Vector
+	v.Set(DstIP, 0x0A000001)
+	v.Set(SrcIP, 0xC0A80001)
+	v.Set(SrcPort, 443)
+	out := m.Apply(&v)
+	if out.Get(DstIP) != 0x0A000001 {
+		t.Errorf("kept field lost: %#x", out.Get(DstIP))
+	}
+	if out.Get(SrcIP) != 0 {
+		t.Errorf("concealed field leaked: %#x", out.Get(SrcIP))
+	}
+	if out.Get(SrcPort) != 443 {
+		t.Errorf("kept port lost: %d", out.Get(SrcPort))
+	}
+	ids := m.Fields()
+	if len(ids) != 2 || ids[0] != DstIP || ids[1] != SrcPort {
+		t.Errorf("Fields() = %v", ids)
+	}
+}
+
+func TestPrefixMask(t *testing.T) {
+	bits := Prefix(SrcIP, 24)
+	if bits != 0xFFFFFF00 {
+		t.Fatalf("Prefix(SrcIP,24) = %#x", bits)
+	}
+	m := Keep().WithBits(SrcIP, bits)
+	var v Vector
+	v.Set(SrcIP, 0xC0A8_01FE) // 192.168.1.254
+	out := m.Apply(&v)
+	if out.Get(SrcIP) != 0xC0A8_0100 {
+		t.Errorf("prefix mask applied = %#x, want 0xC0A80100", out.Get(SrcIP))
+	}
+	if Prefix(SrcIP, 0) != 0 {
+		t.Error("Prefix(.,0) should be 0")
+	}
+	if Prefix(SrcIP, 40) != SrcIP.MaxValue() {
+		t.Error("over-wide prefix should clamp")
+	}
+}
+
+func TestMaskIdempotent(t *testing.T) {
+	f := func(raw [NumFields]uint64, maskRaw [NumFields]uint64) bool {
+		v := Vector(raw)
+		m := Mask(maskRaw)
+		once := m.Apply(&v)
+		twice := m.Apply(&once)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskBytesDeterminedByKeys(t *testing.T) {
+	// Two vectors that agree on masked fields must produce identical hash
+	// bytes no matter how concealed fields differ.
+	rng := rand.New(rand.NewSource(7))
+	m := Keep(SrcIP, DstIP, DstPort)
+	for i := 0; i < 200; i++ {
+		var a, b Vector
+		for id := ID(0); id < NumFields; id++ {
+			a[id] = rng.Uint64() & id.MaxValue()
+			b[id] = rng.Uint64() & id.MaxValue()
+		}
+		// Force agreement on masked fields.
+		for _, id := range m.Fields() {
+			b[id] = a[id]
+		}
+		ab := m.Bytes(&a, nil)
+		bb := m.Bytes(&b, nil)
+		if string(ab) != string(bb) {
+			t.Fatalf("Bytes differ though keys agree: %x vs %x", ab, bb)
+		}
+	}
+}
+
+func TestMaskBytesDistinguishesKeys(t *testing.T) {
+	m := Keep(SrcIP)
+	var a, b Vector
+	a.Set(SrcIP, 1)
+	b.Set(SrcIP, 2)
+	if string(m.Bytes(&a, nil)) == string(m.Bytes(&b, nil)) {
+		t.Error("different keys serialized identically")
+	}
+}
+
+func TestKeepAll(t *testing.T) {
+	m := KeepAll()
+	for id := ID(0); id < NumFields; id++ {
+		if m[id] != id.MaxValue() {
+			t.Errorf("KeepAll missing %v", id)
+		}
+	}
+	if m.IsZero() {
+		t.Error("KeepAll IsZero")
+	}
+	if !(Mask{}).IsZero() {
+		t.Error("zero mask not IsZero")
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	m := Keep(DstIP).WithBits(SrcIP, Prefix(SrcIP, 24))
+	s := m.String()
+	if s != "(sip&0xffffff00, dip)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestPHVReset(t *testing.T) {
+	var p PHV
+	p.Fields.Set(SrcIP, 42)
+	p.Sets[0].HashResult = 9
+	p.GlobalResult = 3
+	p.QueryID = 5
+	p.Stopped = true
+	p.Reset()
+	if p.Fields.Get(SrcIP) != 42 {
+		t.Error("Reset cleared parsed fields")
+	}
+	if p.Sets[0].HashResult != 0 || p.GlobalResult != 0 || p.Stopped {
+		t.Error("Reset left metadata behind")
+	}
+	if p.QueryID != -1 {
+		t.Errorf("Reset QueryID = %d, want -1", p.QueryID)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	var v Vector
+	v.Set(DstIP, 7)
+	v.Set(Proto, 6)
+	got := v.String()
+	if got != "{dip=7, proto=6}" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,381 @@
+package modules
+
+import (
+	"fmt"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/sketch"
+)
+
+// Engine executes the module layout over packets. It implements
+// dataplane.Program, so a Layout plus an Engine is what "loading the
+// Newton P4 program" yields; every query operation afterwards is a rule
+// operation against the layout's tables.
+type Engine struct {
+	layout *Layout
+
+	installed map[progKey]*Program
+}
+
+// progKey identifies an installed program: a switch may host several
+// partitions of one cross-switch query.
+type progKey struct{ qid, part int }
+
+// NewEngine builds an engine over a loaded layout.
+func NewEngine(l *Layout) *Engine {
+	return &Engine{layout: l, installed: map[progKey]*Program{}}
+}
+
+// Layout returns the engine's layout.
+func (e *Engine) Layout() *Layout { return e.layout }
+
+// Installed returns the installed program for qid (its first partition,
+// if partitioned), or nil.
+func (e *Engine) Installed(qid int) *Program {
+	for part := 0; part < 16; part++ {
+		if p, ok := e.installed[progKey{qid, part}]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+// InstalledCount returns how many programs are installed.
+func (e *Engine) InstalledCount() int { return len(e.installed) }
+
+// Install loads a compiled program: one newton_init entry per branch,
+// one rule per module op, and register allocations for the stateful
+// banks. On any failure the partial install is rolled back, leaving the
+// data plane untouched — installs are all-or-nothing so a failed query
+// can never disturb running ones.
+func (e *Engine) Install(p *Program) (err error) {
+	key := progKey{p.QID, p.Part}
+	if _, dup := e.installed[key]; dup {
+		return fmt.Errorf("modules: query %d part %d already installed", p.QID, p.Part)
+	}
+	defer func() {
+		if err != nil {
+			e.rollback(p)
+		}
+	}()
+	// Pass 1: allocate registers for owning state banks.
+	for _, b := range p.Branches {
+		for _, op := range b.Ops {
+			if op.Kind != ModS || op.S == nil || op.S.PassThrough || op.S.CrossRead {
+				continue
+			}
+			width := op.Width()
+			off, aerr := e.layout.AllocRegisters(op.Stage, op.Set, width)
+			if aerr != nil {
+				return aerr
+			}
+			op.S.array = e.layout.ArrayAt(op.Stage, op.Set)
+			op.S.offset, op.S.width = off, width
+		}
+	}
+	// Pass 2: bind cross-branch reads to the Row0 banks they target.
+	for bi, b := range p.Branches {
+		for _, op := range b.Ops {
+			if op.Kind != ModS || op.S == nil || !op.S.CrossRead {
+				continue
+			}
+			target := e.findRow0(p, op.S.ReadBranch)
+			if target == nil {
+				return fmt.Errorf("modules: query %d branch %d reads Row0 of branch %d, which has none",
+					p.QID, bi, op.S.ReadBranch)
+			}
+			op.S.array = target.array
+			op.S.offset, op.S.width = target.offset, target.width
+		}
+	}
+	// Pass 3: install rules.
+	for bi, b := range p.Branches {
+		opKeyBase := uint64(p.QID)<<20 | uint64(p.Part)<<16 | uint64(bi)<<8
+		for oi, op := range b.Ops {
+			t := e.layout.ModuleTable(op.Stage, op.Set, op.Kind)
+			if t == nil {
+				return fmt.Errorf("modules: layout has no %v module at stage %d suite %d", op.Kind, op.Stage, op.Set)
+			}
+			id, terr := t.AddRule([]uint64{opKeyBase | uint64(oi)}, nil, 0, moduleRuleAction{op: op})
+			if terr != nil {
+				return terr
+			}
+			op.ruleID = id
+		}
+		vals := b.Init.Values[:]
+		masks := b.Init.Masks[:]
+		id, ierr := e.layout.Init.AddRule(vals, masks, 0, chainAction{prog: p, branch: b})
+		if ierr != nil {
+			return ierr
+		}
+		b.initRuleID = id
+	}
+	if _, ferr := e.layout.Fin.AddRule([]uint64{uint64(p.QID)<<4 | uint64(p.Part)}, nil, 0, finAction{}); ferr != nil {
+		return ferr
+	}
+	e.installed[key] = p
+	return nil
+}
+
+// Remove uninstalls a query at runtime: its rules leave the tables and
+// its register allocations return to the banks. Forwarding is never
+// touched.
+func (e *Engine) Remove(qid int) error {
+	found := false
+	for key, p := range e.installed {
+		if key.qid != qid {
+			continue
+		}
+		e.rollback(p)
+		delete(e.installed, key)
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("modules: query %d not installed", qid)
+	}
+	return nil
+}
+
+// findRow0 locates the last reduce-row-0 state bank of a branch.
+func (e *Engine) findRow0(p *Program, branch int) *SConfig {
+	if branch < 0 || branch >= len(p.Branches) {
+		return nil
+	}
+	var found *SConfig
+	for _, op := range p.Branches[branch].Ops {
+		if op.Kind == ModS && op.S != nil && op.S.Row0 && op.S.array != nil {
+			found = op.S
+		}
+	}
+	return found
+}
+
+// rollback removes whatever parts of p are currently installed.
+func (e *Engine) rollback(p *Program) {
+	for _, b := range p.Branches {
+		for _, op := range b.Ops {
+			if op.ruleID != 0 {
+				if t := e.layout.ModuleTable(op.Stage, op.Set, op.Kind); t != nil {
+					_ = t.RemoveRule(op.ruleID)
+				}
+				op.ruleID = 0
+			}
+			if op.Kind == ModS && op.S != nil && op.S.array != nil {
+				if !op.S.CrossRead {
+					e.layout.FreeRegisters(op.Stage, op.Set, op.S.offset, op.S.width)
+				}
+				op.S.array = nil
+			}
+		}
+		if b.initRuleID != 0 {
+			_ = e.layout.Init.RemoveRule(b.initRuleID)
+			b.initRuleID = 0
+		}
+	}
+	for _, r := range e.layout.Fin.Rules() {
+		if r.Values[0] == uint64(p.QID)<<4|uint64(p.Part) {
+			_ = e.layout.Fin.RemoveRule(r.ID)
+		}
+	}
+}
+
+type finAction struct{}
+
+// ActionName implements dataplane.Action.
+func (finAction) ActionName() string { return "snapshot" }
+
+// Execute implements dataplane.Program: decode any inbound result
+// snapshot, classify via newton_init, run every matching branch chain
+// (partitioned programs run only at their partition cursor), and decide
+// the outbound snapshot.
+func (e *Engine) Execute(ctx *dataplane.Context) {
+	curPart := 0
+	if sp := ctx.Pkt.SP; sp != nil {
+		Restore(&ctx.PHV, sp)
+		curPart = int(sp.Part)
+	}
+	v := &ctx.PHV.Fields
+	matches := e.layout.Init.LookupAll(
+		v.Get(fields.SrcIP), v.Get(fields.DstIP), v.Get(fields.Proto),
+		v.Get(fields.SrcPort), v.Get(fields.DstPort), v.Get(fields.TCPFlags))
+	var ranPart *Program
+	stopped := false
+	for _, m := range matches {
+		ca, ok := m.Action.(chainAction)
+		if !ok {
+			continue
+		}
+		if ca.prog.TotalParts > 1 {
+			if ca.prog.Part != curPart {
+				continue
+			}
+			if sp := ctx.Pkt.SP; sp != nil && int(sp.QID) != ca.prog.QID {
+				continue
+			}
+			ranPart = ca.prog
+		}
+		ctx.PHV.QueryID = ca.prog.QID
+		e.runBranch(ctx, ca.branch)
+		if ca.prog == ranPart {
+			stopped = ctx.PHV.Stopped
+		}
+	}
+	switch {
+	case ranPart != nil && ranPart.Part+1 < ranPart.TotalParts && !stopped:
+		ctx.OutSP = Snapshot(&ctx.PHV, ranPart.QID, ranPart.Part+1)
+	case ranPart != nil:
+		ctx.OutSP = nil // query completed (or stopped) here: strip
+	default:
+		ctx.OutSP = ctx.Pkt.SP // not our partition: forward untouched
+	}
+}
+
+// runBranch executes one branch chain over the packet. The PHV's
+// metadata sets may arrive pre-seeded from a result-snapshot header
+// (cross-switch execution); chains always run front to back in stage
+// order, which the composition algorithm guarantees is dependency-safe.
+func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram) {
+	phv := &ctx.PHV
+	phv.Stopped = false
+	for _, op := range b.Ops {
+		if phv.Stopped {
+			return
+		}
+		set := &phv.Sets[op.Set&1]
+		switch op.Kind {
+		case ModK:
+			set.OpKeyMask = op.K.Mask
+			set.OpKeys = op.K.Mask.Apply(&phv.Fields)
+		case ModH:
+			e.execH(op.H, set)
+		case ModS:
+			e.execS(op.S, set, phv)
+		case ModR:
+			e.execR(ctx, op.R, set, phv)
+		}
+	}
+}
+
+func (e *Engine) execH(h *HConfig, set *fields.MetadataSet) {
+	if h.Direct != NoField {
+		set.HashResult = set.OpKeys.Get(h.Direct)
+		return
+	}
+	var buf [8 * int(fields.NumFields)]byte
+	key := set.OpKeyMask.Bytes(&set.OpKeys, buf[:0])
+	raw := h.Algo.Sum(key, h.Seed)
+	if h.Range > 0 {
+		set.HashResult = uint64(sketch.Fold(raw, h.Range))
+	} else {
+		set.HashResult = uint64(raw)
+	}
+}
+
+// ownerOf computes the key-sharding owner of the operation keys: a hash
+// independent of the row hashes so every row of a multi-array sketch
+// agrees on the owner.
+func ownerOf(set *fields.MetadataSet, count uint32) uint32 {
+	var buf [8 * int(fields.NumFields)]byte
+	key := set.OpKeyMask.Bytes(&set.OpKeys, buf[:0])
+	return sketch.FNV1a.Sum(key, 0xBEEF) % count
+}
+
+func (e *Engine) execS(s *SConfig, set *fields.MetadataSet, phv *fields.PHV) {
+	if s.PassThrough {
+		set.StateResult = set.HashResult
+		return
+	}
+	if s.OwnerCount > 1 && ownerOf(set, s.OwnerCount) != s.OwnerIndex {
+		// Key-sharded cross-switch execution: another switch on the path
+		// owns this key's state; this switch's monitoring of the packet
+		// ends here and the owner reports instead.
+		phv.Stopped = true
+		return
+	}
+	if s.array == nil {
+		panic(fmt.Sprintf("modules: state bank op executed before install (qid rule missing)"))
+	}
+	idx := s.offset + uint32(set.HashResult)%s.width
+	var operand uint32
+	switch s.Operand {
+	case OperandConst:
+		operand = s.Const
+	case OperandField:
+		operand = uint32(phv.Fields.Get(s.Field))
+	case OperandHash:
+		operand = uint32(set.HashResult)
+	}
+	set.StateResult = uint64(s.array.Exec(s.ALU, idx, operand))
+}
+
+func (e *Engine) execR(ctx *dataplane.Context, r *RConfig, set *fields.MetadataSet, phv *fields.PHV) {
+	val := int64(set.StateResult)
+	if r.OnGlobal {
+		val = fields.GlobalSigned(phv.GlobalResult)
+	}
+	for _, entry := range r.Entries {
+		if val < entry.Lo || val > entry.Hi {
+			continue
+		}
+		for _, act := range entry.Actions {
+			switch act.Kind {
+			case RActReport:
+				ctx.Mirror(dataplane.Report{
+					QueryID: phv.QueryID,
+					Keys:    set.OpKeys,
+					KeyMask: set.OpKeyMask,
+					State:   set.StateResult,
+					Global:  phv.GlobalResult,
+				})
+			case RActStop:
+				phv.Stopped = true
+			case RActSetGlobal:
+				phv.GlobalResult = uint64(int64(set.StateResult))
+			case RActGlobalAdd:
+				phv.GlobalResult = uint64(fields.GlobalSigned(phv.GlobalResult) + act.Coeff*int64(set.StateResult))
+			case RActGlobalMin:
+				if int64(set.StateResult) < fields.GlobalSigned(phv.GlobalResult) {
+					phv.GlobalResult = uint64(int64(set.StateResult))
+				}
+			case RActGlobalScale:
+				phv.GlobalResult = uint64(fields.GlobalSigned(phv.GlobalResult) * act.Coeff)
+			}
+		}
+		return // first matching entry wins (ternary priority)
+	}
+	// No entry matched: the result process stops the query (the
+	// default-deny of a threshold match).
+	phv.Stopped = true
+}
+
+// Snapshot builds the result-snapshot header from the PHV for the next
+// partition of a cross-switch query (§5.1). Only what downstream cannot
+// rederive is carried: state results, the global result, and the
+// partition cursor. 12 bytes on the wire.
+func Snapshot(phv *fields.PHV, qid int, nextPart int) *packet.SPHeader {
+	g := fields.GlobalSigned(phv.GlobalResult)
+	if g > 32767 {
+		g = 32767
+	}
+	if g < -32768 {
+		g = -32768
+	}
+	return &packet.SPHeader{
+		QID:    uint16(qid) & 0xFFF,
+		Part:   uint8(nextPart) & 0x0F,
+		State0: uint32(phv.Sets[0].StateResult),
+		State1: uint32(phv.Sets[1].StateResult),
+		Global: uint16(int16(g)),
+	}
+}
+
+// Restore seeds a PHV's metadata from an inbound result-snapshot header
+// before the next partition executes.
+func Restore(phv *fields.PHV, sp *packet.SPHeader) {
+	phv.Sets[0].StateResult = uint64(sp.State0)
+	phv.Sets[1].StateResult = uint64(sp.State1)
+	phv.GlobalResult = uint64(int64(int16(sp.Global)))
+	phv.QueryID = int(sp.QID)
+}

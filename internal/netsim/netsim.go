@@ -1,0 +1,213 @@
+// Package netsim simulates a network of Newton-enabled programmable
+// switches: every switch of a topology gets a pipeline with the module
+// layout loaded, packets walk ECMP forwarding paths hop by hop, result
+// snapshot headers carry cross-switch query state, register windows roll
+// on a shared virtual clock, and switch outages (the Sonata reboot
+// model) drop traffic for their duration.
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/packet"
+	"github.com/newton-net/newton/internal/topology"
+)
+
+// Config sizes each switch in the network.
+type Config struct {
+	// Stages is the module stage count per pipeline (default 12, the
+	// paper's Tofino).
+	Stages int
+	// ArraySize is each state bank's register count (default 4096).
+	ArraySize uint32
+	// Window is the query evaluation window (default 100 ms).
+	Window time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stages == 0 {
+		c.Stages = dataplane.TofinoStages
+	}
+	if c.ArraySize == 0 {
+		c.ArraySize = 4096
+	}
+	if c.Window == 0 {
+		c.Window = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Node is one switch of the network: its data plane, module layout, and
+// engine.
+type Node struct {
+	ID     int
+	DP     *dataplane.Switch
+	Layout *modules.Layout
+	Eng    *modules.Engine
+}
+
+// Network is the simulated deployment.
+type Network struct {
+	Topo *topology.Topology
+	Cfg  Config
+
+	nodes map[int]*Node
+
+	clock     uint64
+	nextEpoch uint64
+
+	outageFrom, outageTo map[int]uint64
+
+	delivered, dropped uint64
+
+	// Deferred, when set, receives packets that exit the network still
+	// carrying a result snapshot — a query whose partitions outnumber
+	// the path's Newton hops. The software analyzer continues the query
+	// from the snapshot (§5.2); see analyzer.DeferredTail. The hook runs
+	// before the snapshot is stripped.
+	Deferred func(pkt *packet.Packet)
+}
+
+// New builds a network with a Newton switch per topology switch node.
+func New(topo *topology.Topology, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	n := &Network{
+		Topo: topo, Cfg: cfg,
+		nodes:      map[int]*Node{},
+		nextEpoch:  uint64(cfg.Window),
+		outageFrom: map[int]uint64{}, outageTo: map[int]uint64{},
+	}
+	for _, id := range topo.Switches() {
+		layout, err := modules.NewLayout(modules.LayoutCompact, cfg.Stages, cfg.ArraySize)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: switch %s: %w", topo.Node(id).Name, err)
+		}
+		eng := modules.NewEngine(layout)
+		dp := dataplane.NewSwitch(topo.Node(id).Name, cfg.Stages, modules.StageCapacity())
+		if err := dp.AddRoute(0, 0, 1); err != nil {
+			return nil, err
+		}
+		dp.Monitor = eng
+		n.nodes[id] = &Node{ID: id, DP: dp, Layout: layout, Eng: eng}
+	}
+	return n, nil
+}
+
+// Node returns the switch node with the given topology ID.
+func (n *Network) Node(id int) *Node { return n.nodes[id] }
+
+// Nodes returns all switch nodes keyed by topology ID.
+func (n *Network) Nodes() map[int]*Node { return n.nodes }
+
+// Clock returns the current virtual time in nanoseconds.
+func (n *Network) Clock() uint64 { return n.clock }
+
+// AdvanceTo moves the virtual clock forward, rolling register windows at
+// each boundary it crosses.
+func (n *Network) AdvanceTo(ts uint64) {
+	if ts < n.clock {
+		return
+	}
+	for ts >= n.nextEpoch {
+		for _, node := range n.nodes {
+			node.Layout.Pipeline().NextEpoch()
+		}
+		n.nextEpoch += uint64(n.Cfg.Window)
+	}
+	n.clock = ts
+}
+
+// SetOutage takes a switch down for [from, until) of virtual time — the
+// Sonata reboot model's lever.
+func (n *Network) SetOutage(sw int, from, until uint64) {
+	n.outageFrom[sw] = from
+	n.outageTo[sw] = until
+}
+
+func (n *Network) inOutage(sw int) bool {
+	to, ok := n.outageTo[sw]
+	return ok && n.clock >= n.outageFrom[sw] && n.clock < to
+}
+
+// flowSeed derives the ECMP seed from the packet's 5-tuple.
+func flowSeed(p *packet.Packet) uint64 {
+	h := fnv.New64a()
+	k := p.Flow()
+	var b [13]byte
+	b[0], b[1], b[2], b[3] = byte(k.Src>>24), byte(k.Src>>16), byte(k.Src>>8), byte(k.Src)
+	b[4], b[5], b[6], b[7] = byte(k.Dst>>24), byte(k.Dst>>16), byte(k.Dst>>8), byte(k.Dst)
+	b[8], b[9] = byte(k.SPort>>8), byte(k.SPort)
+	b[10], b[11] = byte(k.DPort>>8), byte(k.DPort)
+	b[12] = k.Proto
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// Deliver routes one packet from srcHost to dstHost along its ECMP path
+// and processes it at every switch. It returns the switch path taken and
+// whether the packet reached the destination. A switch in outage drops
+// the packet.
+func (n *Network) Deliver(pkt *packet.Packet, srcHost, dstHost int) ([]int, bool) {
+	path := n.Topo.Path(srcHost, dstHost, flowSeed(pkt))
+	if path == nil {
+		n.dropped++
+		return nil, false
+	}
+	sw := n.Topo.SwitchPath(path)
+	ok := n.DeliverPath(pkt, sw)
+	return sw, ok
+}
+
+// DeliverPath processes a packet along an explicit switch path.
+func (n *Network) DeliverPath(pkt *packet.Packet, switches []int) bool {
+	n.AdvanceTo(pkt.TS)
+	pkt.SP = nil // hosts never send result snapshots
+	for _, id := range switches {
+		node, ok := n.nodes[id]
+		if !ok {
+			n.dropped++
+			return false
+		}
+		if n.inOutage(id) {
+			n.dropped++
+			return false
+		}
+		if _, forwarded := node.DP.Process(pkt); !forwarded {
+			n.dropped++
+			return false
+		}
+	}
+	if pkt.SP != nil {
+		// The last Newton hop normally strips the snapshot before the
+		// host; a leftover means the query's tail never ran on this path
+		// — §5.2's fallback hands the execution status to the software
+		// analyzer before the header is removed.
+		if n.Deferred != nil {
+			n.Deferred(pkt)
+		}
+		pkt.SP = nil
+	}
+	n.delivered++
+	return true
+}
+
+// DrainReports collects and clears mirrored reports from every switch.
+func (n *Network) DrainReports() []dataplane.Report {
+	var out []dataplane.Report
+	for _, node := range n.nodes {
+		out = append(out, node.DP.DrainReports()...)
+	}
+	return out
+}
+
+// Stats returns network-wide delivery counters.
+func (n *Network) Stats() (delivered, dropped uint64) {
+	return n.delivered, n.dropped
+}
+
+// ResetStats zeroes the delivery counters (between experiment phases).
+func (n *Network) ResetStats() { n.delivered, n.dropped = 0, 0 }

@@ -1,0 +1,233 @@
+package placement
+
+import (
+	"testing"
+
+	"github.com/newton-net/newton/internal/topology"
+)
+
+func TestPlaceLinearSingleSwitchQuery(t *testing.T) {
+	topo, _, _ := Linear3(t)
+	p, m, err := Place(topo, topo.EdgeSwitches()[:1], 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Fatalf("partitions = %d, want 1", m)
+	}
+	// Single-partition queries go on every switch reachable at depth 1 =
+	// the edge switch itself.
+	if len(p[topo.EdgeSwitches()[0]]) != 1 {
+		t.Error("edge switch not assigned")
+	}
+}
+
+func Linear3(t *testing.T) (*topology.Topology, int, int) {
+	t.Helper()
+	topo, h1, h2 := topology.Linear(3)
+	return topo, h1, h2
+}
+
+func TestPlaceLinearPartitioned(t *testing.T) {
+	topo, _, _ := Linear3(t)
+	edges := topo.EdgeSwitches()
+	// 10-stage query on 5-stage switches → 2 partitions.
+	p, m, err := Place(topo, edges[:1], 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Fatalf("m = %d", m)
+	}
+	s1, s2 := edges[0], edges[1]
+	if !contains(p[s1], 0) {
+		t.Error("partition 0 missing from first hop")
+	}
+	if !contains(p[s2], 1) {
+		t.Error("partition 1 missing from second hop")
+	}
+}
+
+func TestPlaceCoversAllPaths(t *testing.T) {
+	// The invariant of Algorithm 2 (DESIGN invariant 4): for ANY simple
+	// path out of a monitored edge switch, partitions appear in order.
+	topo := topology.FatTree(4)
+	edges := topo.EdgeSwitches()
+	p, m, err := Place(topo, edges[:2], 10, 5) // 2 partitions
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := topo.Hosts()
+	for _, dst := range hosts {
+		for seed := uint64(0); seed < 8; seed++ {
+			full := topo.Path(hosts[0], dst, seed)
+			if full == nil || len(full) < 3 {
+				continue
+			}
+			sw := topo.SwitchPath(full)
+			if sw[0] != edges[0] && sw[0] != edges[1] {
+				continue // not monitored traffic
+			}
+			if got := p.CoversPath(sw, m); got != m && len(sw) >= m {
+				t.Fatalf("path %v completes only %d/%d partitions", sw, got, m)
+			}
+		}
+	}
+}
+
+func TestPlaceSurvivesRerouting(t *testing.T) {
+	topo := topology.FatTree(4)
+	edges := topo.EdgeSwitches()
+	p, m, err := Place(topo, edges, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := topo.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	orig := topo.SwitchPath(topo.Path(src, dst, 3))
+	if p.CoversPath(orig, m) != m {
+		t.Fatal("original path not covered")
+	}
+	// Fail a link on the original path; the rerouted path must still be
+	// covered without recomputing the placement.
+	topo.SetLink(orig[0], orig[1], false)
+	re := topo.SwitchPath(topo.Path(src, dst, 3))
+	if re == nil {
+		t.Fatal("no reroute available")
+	}
+	if p.CoversPath(re, m) != m {
+		t.Fatalf("rerouted path %v not covered — placement not resilient", re)
+	}
+}
+
+func TestPlaceMultiplexesRules(t *testing.T) {
+	// Each switch holds each partition at most once no matter how many
+	// edge switches' DFS trees reach it.
+	topo := topology.FatTree(4)
+	p, _, err := Place(topo, topo.EdgeSwitches(), 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, parts := range p {
+		seen := map[int]bool{}
+		for _, d := range parts {
+			if seen[d] {
+				t.Fatalf("switch %d hosts partition %d twice", s, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestEntries(t *testing.T) {
+	topo, _, _ := Linear3(t)
+	p, m, err := Place(topo, topo.EdgeSwitches()[:1], 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Fatal("expected 2 partitions")
+	}
+	total, avg := p.Entries([]int{10, 9})
+	if total <= 0 || avg <= 0 {
+		t.Fatalf("entries = %d avg %.1f", total, avg)
+	}
+	// With 3 chained switches and the DFS from s1: s1 has part0, s2 has
+	// part1 (depth2), s3 nothing within m=2... depth(s3)=3 > m.
+	if total != 19 {
+		t.Errorf("total entries = %d, want 19 (10 + 9)", total)
+	}
+	empty := Placement{}
+	if tot, a := empty.Entries(nil); tot != 0 || a != 0 {
+		t.Error("empty placement entries nonzero")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	topo, h1, _ := Linear3(t)
+	if _, _, err := Place(topo, []int{h1}, 4, 4); err == nil {
+		t.Error("host as edge switch accepted")
+	}
+	if _, _, err := Place(topo, nil, 0, 4); err == nil {
+		t.Error("zero stages accepted")
+	}
+	if _, _, err := Place(topo, nil, 4, 0); err == nil {
+		t.Error("zero stages-per-switch accepted")
+	}
+}
+
+func TestAverageEntriesStabilizeWithScale(t *testing.T) {
+	// Fig. 17b's key claim: total entries grow linearly with the
+	// topology while per-switch average stabilizes.
+	var avgs []float64
+	for _, k := range []int{4, 8, 12} {
+		topo := topology.FatTree(k)
+		p, m, err := Place(topo, topo.EdgeSwitches(), 10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules := make([]int, m)
+		for i := range rules {
+			rules[i] = 10
+		}
+		_, avg := p.Entries(rules)
+		avgs = append(avgs, avg)
+	}
+	if avgs[2] > avgs[0]*1.5 {
+		t.Errorf("per-switch average grows with scale: %v", avgs)
+	}
+}
+
+// TestPlaceCoversRandomTopologies is the resilience property with no
+// helpful structure: on random connected graphs, for every monitored
+// edge switch and every shortest path of length >= M out of it, the
+// partitions appear in order — whatever the graph looks like.
+func TestPlaceCoversRandomTopologies(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		topo := topology.Random(12, 10, seed)
+		edges := topo.EdgeSwitches()[:3]
+		p, m, err := Place(topo, edges, 8, 4) // 2 partitions
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range edges {
+			for _, dst := range topo.Switches() {
+				for fs := uint64(0); fs < 4; fs++ {
+					path := topo.Path(src, dst, fs)
+					if len(path) < m {
+						continue
+					}
+					if got := p.CoversPath(path, m); got != m {
+						t.Fatalf("seed %d: path %v covers %d/%d partitions", seed, path, got, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlaceRandomFailures fails random links and checks any remaining
+// shortest path is still covered without recomputation.
+func TestPlaceRandomFailures(t *testing.T) {
+	topo := topology.Random(16, 14, 3)
+	edges := topo.EdgeSwitches()[:4]
+	p, m, err := Place(topo, edges, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail three ring links.
+	topo.SetLink(0, 1, false)
+	topo.SetLink(5, 6, false)
+	topo.SetLink(9, 10, false)
+	for _, src := range edges {
+		for _, dst := range topo.Switches() {
+			path := topo.Path(src, dst, 7)
+			if path == nil || len(path) < m {
+				continue
+			}
+			if got := p.CoversPath(path, m); got != m {
+				t.Fatalf("rerouted path %v covers %d/%d", path, got, m)
+			}
+		}
+	}
+}

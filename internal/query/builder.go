@@ -1,0 +1,123 @@
+package query
+
+import (
+	"time"
+
+	"github.com/newton-net/newton/internal/fields"
+)
+
+// Builder assembles queries fluently, mirroring the Spark-style API the
+// paper adopts:
+//
+//	q := query.New("new_tcp").
+//		Filter(query.Eq(fields.Proto, packet.ProtoTCP),
+//			query.Eq(fields.TCPFlags, packet.FlagSYN)).
+//		Map(fields.DstIP).
+//		ReduceCount(fields.DstIP).
+//		FilterResultGt(40).
+//		Build()
+type Builder struct {
+	q      *Query
+	branch *Branch
+}
+
+// New starts a query with the default 100 ms window.
+func New(name string) *Builder {
+	b := &Builder{q: &Query{Name: name, Window: 100 * time.Millisecond}}
+	b.q.Branches = []Branch{{}}
+	b.branch = &b.q.Branches[0]
+	return b
+}
+
+// Describe attaches a human-readable intent description.
+func (b *Builder) Describe(d string) *Builder {
+	b.q.Description = d
+	return b
+}
+
+// Window overrides the evaluation window.
+func (b *Builder) Window(w time.Duration) *Builder {
+	b.q.Window = w
+	return b
+}
+
+// Branch starts a new branch; subsequent primitives append to it.
+func (b *Builder) Branch() *Builder {
+	b.q.Branches = append(b.q.Branches, Branch{})
+	b.branch = &b.q.Branches[len(b.q.Branches)-1]
+	return b
+}
+
+// Filter appends a filter over the given predicates (ANDed).
+func (b *Builder) Filter(preds ...Predicate) *Builder {
+	b.branch.Prims = append(b.branch.Prims, Primitive{Kind: KindFilter, Preds: preds})
+	return b
+}
+
+// FilterResultGt appends filter(result > v), the canonical threshold tail.
+func (b *Builder) FilterResultGt(v uint64) *Builder {
+	return b.Filter(Predicate{Field: Result, Op: CmpGt, Value: v})
+}
+
+// Map appends a projection onto the given fields.
+func (b *Builder) Map(keys ...fields.ID) *Builder {
+	b.branch.Prims = append(b.branch.Prims, Primitive{Kind: KindMap, Keys: fields.Keep(keys...)})
+	return b
+}
+
+// MapMask appends a projection with an explicit mask (prefixes etc.).
+func (b *Builder) MapMask(m fields.Mask) *Builder {
+	b.branch.Prims = append(b.branch.Prims, Primitive{Kind: KindMap, Keys: m})
+	return b
+}
+
+// Distinct appends a first-occurrence-per-key pass.
+func (b *Builder) Distinct(keys ...fields.ID) *Builder {
+	b.branch.Prims = append(b.branch.Prims, Primitive{Kind: KindDistinct, Keys: fields.Keep(keys...)})
+	return b
+}
+
+// ReduceCount appends reduce(keys, f=sum(1)).
+func (b *Builder) ReduceCount(keys ...fields.ID) *Builder {
+	b.branch.Prims = append(b.branch.Prims,
+		Primitive{Kind: KindReduce, Keys: fields.Keep(keys...), Value: ValueOne})
+	return b
+}
+
+// ReduceCountMask appends reduce with an explicit key mask (e.g. count
+// per /16 prefix).
+func (b *Builder) ReduceCountMask(m fields.Mask) *Builder {
+	b.branch.Prims = append(b.branch.Prims,
+		Primitive{Kind: KindReduce, Keys: m, Value: ValueOne})
+	return b
+}
+
+// ReduceSum appends reduce(keys, f=sum(value)).
+func (b *Builder) ReduceSum(value fields.ID, keys ...fields.ID) *Builder {
+	b.branch.Prims = append(b.branch.Prims,
+		Primitive{Kind: KindReduce, Keys: fields.Keep(keys...), Value: value})
+	return b
+}
+
+// MergeLinear closes a multi-branch query with g = Σ coeff·branch,
+// reporting when g crosses threshold under cmp.
+func (b *Builder) MergeLinear(coeffs []int64, cmp CmpOp, threshold int64) *Builder {
+	b.q.Merge = &Merge{Op: MergeLinear, Coeffs: coeffs, Cmp: cmp, Threshold: threshold}
+	return b
+}
+
+// MergeMin closes a multi-branch query with g = min(branches) > threshold.
+func (b *Builder) MergeMin(threshold int64) *Builder {
+	b.q.Merge = &Merge{Op: MergeMin, Cmp: CmpGt, Threshold: threshold}
+	return b
+}
+
+// Build validates and returns the query; it panics on structural errors
+// (queries are built from literals, so an invalid one is a programming
+// bug).
+func (b *Builder) Build() *Query {
+	if err := b.q.Validate(); err != nil {
+		panic(err)
+	}
+	return b.q
+}

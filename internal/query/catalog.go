@@ -1,0 +1,198 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/packet"
+)
+
+// This file defines the nine evaluation queries of Table 2, re-expressed
+// from the Sonata open-source query repository in Newton's builder API.
+// Each takes its report threshold as a parameter so experiments can
+// calibrate sensitivity.
+
+// Q1 monitors newly opened TCP connections: destinations receiving more
+// than th SYNs per window.
+func Q1(th uint64) *Query {
+	return New("q1_new_tcp_connections").
+		Describe("Monitor new TCP connections").
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagSYN)).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(th).
+		Build()
+}
+
+// Q2 monitors hosts under SSH brute-force attack: destinations seeing
+// more than th distinct packet lengths on port 22 per window (brute
+// forcers vary payload sizes across attempts).
+func Q2(th uint64) *Query {
+	return New("q2_ssh_brute").
+		Describe("Monitor hosts under SSH brute attacks").
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.DstPort, 22)).
+		Map(fields.DstIP, fields.PktLen).
+		Distinct(fields.DstIP, fields.PktLen).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(th).
+		Build()
+}
+
+// Q3 monitors super spreaders: TCP sources contacting more than th
+// distinct destinations per window.
+func Q3(th uint64) *Query {
+	return New("q3_super_spreader").
+		Describe("Monitor super spreaders").
+		Filter(Eq(fields.Proto, packet.ProtoTCP)).
+		Map(fields.SrcIP, fields.DstIP).
+		Distinct(fields.SrcIP, fields.DstIP).
+		Map(fields.SrcIP).
+		ReduceCount(fields.SrcIP).
+		FilterResultGt(th).
+		Build()
+}
+
+// Q4 monitors hosts under port scanning: destinations probed on more
+// than th distinct ports per window.
+func Q4(th uint64) *Query {
+	return New("q4_port_scan").
+		Describe("Monitor hosts under port scanning").
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagSYN)).
+		Map(fields.DstIP, fields.DstPort).
+		Distinct(fields.DstIP, fields.DstPort).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(th).
+		Build()
+}
+
+// Q5 monitors hosts under UDP DDoS: destinations receiving UDP from more
+// than th distinct sources per window.
+func Q5(th uint64) *Query {
+	return New("q5_udp_ddos").
+		Describe("Monitor hosts under UDP DDoS attacks").
+		Filter(Eq(fields.Proto, packet.ProtoUDP)).
+		Map(fields.DstIP, fields.SrcIP).
+		Distinct(fields.DstIP, fields.SrcIP).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(th).
+		Build()
+}
+
+// Q6 monitors hosts under SYN-flood attack — the paper's worked example
+// (Fig. 6). Three branches count SYNs to a host, SYN-ACKs from it, and
+// ACKs to it; a host whose SYNs plus SYN-ACKs far exceed twice its ACKs
+// has many half-open connections.
+func Q6(th int64) *Query {
+	return New("q6_syn_flood").
+		Describe("Monitor hosts under SYN flood attacks").
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagSYN)).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(0).
+		Branch().
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagSYN|packet.FlagACK)).
+		Map(fields.SrcIP).
+		ReduceCount(fields.SrcIP).
+		FilterResultGt(0).
+		Branch().
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagACK)).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(0).
+		MergeLinear([]int64{1, 1, -2}, CmpGt, th).
+		Build()
+}
+
+// Q7 monitors completed TCP connections: hosts whose opened (SYN) and
+// closed (FIN) connection counts both exceed th — the minimum of the two
+// bounds the completed count.
+func Q7(th int64) *Query {
+	return New("q7_completed_tcp").
+		Describe("Monitor completed TCP connections").
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagSYN)).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(0).
+		Branch().
+		Filter(Eq(fields.Proto, packet.ProtoTCP),
+			MaskEq(fields.TCPFlags, packet.FlagFIN, packet.FlagFIN)).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(0).
+		MergeMin(th).
+		Build()
+}
+
+// Q8 monitors hosts under Slowloris attack: many connections delivering
+// few bytes. The data-plane-friendly linear proxy for the byte/connection
+// ratio is 512·connections − bytes > th: a host is suspect when its mean
+// connection carries well under 512 bytes (including headers).
+func Q8(th int64) *Query {
+	return New("q8_slowloris").
+		Describe("Monitor hosts under Slowloris attacks").
+		Filter(Eq(fields.Proto, packet.ProtoTCP)).
+		Map(fields.DstIP).
+		ReduceSum(fields.PktLen, fields.DstIP).
+		FilterResultGt(0).
+		Branch().
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagSYN)).
+		Map(fields.DstIP, fields.SrcPort).
+		Distinct(fields.DstIP, fields.SrcPort).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(0).
+		MergeLinear([]int64{-1, 512}, CmpGt, th).
+		Build()
+}
+
+// Q9 monitors hosts that receive DNS responses but never open TCP
+// connections afterwards (reflection-attack staging). A large negative
+// coefficient on the TCP branch vetoes any host with even one SYN.
+func Q9(th int64) *Query {
+	return New("q9_dns_no_tcp").
+		Describe("Monitor hosts that do not create TCP connections after DNS").
+		Filter(Eq(fields.Proto, packet.ProtoUDP), Eq(fields.SrcPort, 53)).
+		Map(fields.DstIP).
+		ReduceCount(fields.DstIP).
+		FilterResultGt(0).
+		Branch().
+		Filter(Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagSYN)).
+		Map(fields.SrcIP).
+		ReduceCount(fields.SrcIP).
+		FilterResultGt(0).
+		MergeLinear([]int64{1, -1 << 20}, CmpGt, th).
+		Build()
+}
+
+// DefaultThresholds holds the per-query thresholds the evaluation uses:
+// low enough that injected attacks always trigger, high enough that
+// background traffic rarely does.
+var DefaultThresholds = map[string]int64{
+	"q1": 40, "q2": 20, "q3": 40, "q4": 40, "q5": 40,
+	"q6": 30, "q7": 20, "q8": 1000, "q9": 5,
+}
+
+// All returns the nine evaluation queries at the default thresholds, in
+// order Q1..Q9.
+func All() []*Query {
+	t := DefaultThresholds
+	return []*Query{
+		Q1(uint64(t["q1"])), Q2(uint64(t["q2"])), Q3(uint64(t["q3"])),
+		Q4(uint64(t["q4"])), Q5(uint64(t["q5"])),
+		Q6(t["q6"]), Q7(t["q7"]), Q8(t["q8"]), Q9(t["q9"]),
+	}
+}
+
+// ByName returns one of the nine queries ("q1".."q9") at its default
+// threshold.
+func ByName(name string) (*Query, error) {
+	for i, q := range All() {
+		if name == fmt.Sprintf("q%d", i+1) || name == q.Name {
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("query: unknown query %q", name)
+}

@@ -1,0 +1,432 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/packet"
+)
+
+// Parse builds a query from the textual intent DSL used by newton-ctl
+// and operator tooling. A query is a pipeline of primitives:
+//
+//	filter(proto == tcp && tcp_flags == syn) | map(dip) |
+//	    reduce(dip, sum) | filter(result > 40)
+//
+// Multi-branch queries separate branches with ";" and close with a
+// merge clause — the Fig. 6 style. Q6 (SYN-flood victims) in the DSL:
+//
+//	filter(proto == tcp && tcp_flags == syn)    | map(dip) | reduce(dip, sum) | filter(result > 0) ;
+//	filter(proto == tcp && tcp_flags == synack) | map(sip) | reduce(sip, sum) | filter(result > 0) ;
+//	filter(proto == tcp && tcp_flags == ack)    | map(dip) | reduce(dip, sum) | filter(result > 0) ;
+//	merge(1, 1, -2 > 30)
+//
+// Grammar:
+//
+//	query    = branch { ";" branch } [ ";" merge ]
+//	branch   = stage { "|" stage }
+//	stage    = filter | map | distinct | reduce | window
+//	filter   = "filter" "(" pred { "&&" pred } ")"
+//	pred     = field cmp value
+//	cmp      = "==" | "!=" | ">" | ">=" | "<" | "<="
+//	map      = "map" "(" keys ")"
+//	distinct = "distinct" "(" keys ")"
+//	reduce   = "reduce" "(" keys [ "," "sum" [ "(" field ")" ] ] ")"
+//	window   = "window" "(" duration ")"
+//	merge    = "merge" "(" ( "min" | coeff { "," coeff } ) cmp int ")"
+//	keys     = key { "," key }
+//	key      = field [ "/" prefixlen ]
+//	coeff    = [ "-" ] int
+//
+// Fields use the global field-set names (sip, dip, proto, sport, dport,
+// tcp_flags, len, ttl, ...), plus the pseudo-field "result". Values are
+// integers, dotted-quad IPv4 addresses, protocol names (tcp, udp, icmp),
+// or TCP flag names (syn, ack, fin, rst, synack).
+func Parse(name, src string) (*Query, error) {
+	p := &parser{toks: lex(src), src: src}
+	b := New(name)
+	firstBranch := true
+	for !p.done() {
+		if !firstBranch {
+			if !p.accept(";") {
+				break
+			}
+			if p.peek() == "merge" {
+				p.next()
+				if err := p.mergeClause(b); err != nil {
+					return nil, err
+				}
+				break
+			}
+			b.Branch()
+		}
+		firstBranch = false
+		firstStage := true
+		for {
+			if !firstStage {
+				if !p.accept("|") {
+					break
+				}
+			}
+			firstStage = false
+			if err := p.stage(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.done() {
+		return nil, p.errf("unexpected %q", p.peek())
+	}
+	var q *Query
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("query: %v", r)
+			}
+		}()
+		q = b.Build()
+		return nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+	src  string
+
+	// merge-clause scratch (threshold and comparison).
+	mergeTh  int64
+	mergeCmp CmpOp
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.done() {
+		return "<end>"
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) accept(t string) bool {
+	if p.peek() == t {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(t string) error {
+	if !p.accept(t) {
+		return p.errf("expected %q, found %q", t, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: parsing %q: %s", p.src, fmt.Sprintf(format, args...))
+}
+
+// lex splits the source into tokens: identifiers/numbers, punctuation,
+// and multi-character operators.
+func lex(src string) []string {
+	var toks []string
+	i := 0
+	isWord := func(c byte) bool {
+		return c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isWord(c):
+			j := i
+			for j < len(src) && isWord(src[j]) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", ">=", "<=", "&&":
+				toks = append(toks, two)
+				i += 2
+			default:
+				toks = append(toks, string(c))
+				i++
+			}
+		}
+	}
+	return toks
+}
+
+func (p *parser) stage(b *Builder) error {
+	switch kw := p.next(); kw {
+	case "filter":
+		return p.filterStage(b)
+	case "map":
+		m, err := p.keysArg()
+		if err != nil {
+			return err
+		}
+		b.MapMask(m)
+		return nil
+	case "distinct":
+		m, err := p.keysArg()
+		if err != nil {
+			return err
+		}
+		b.branch.Prims = append(b.branch.Prims, Primitive{Kind: KindDistinct, Keys: m})
+		return nil
+	case "reduce":
+		return p.reduceStage(b)
+	case "window":
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(p.next())
+		if err != nil {
+			return p.errf("bad window duration: %v", err)
+		}
+		b.Window(d)
+		return p.expect(")")
+	default:
+		return p.errf("unknown primitive %q", kw)
+	}
+}
+
+func (p *parser) filterStage(b *Builder) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var preds []Predicate
+	for {
+		pred, err := p.pred()
+		if err != nil {
+			return err
+		}
+		preds = append(preds, pred)
+		if !p.accept("&&") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	b.Filter(preds...)
+	return nil
+}
+
+func (p *parser) pred() (Predicate, error) {
+	fieldTok := p.next()
+	var f fields.ID
+	if fieldTok == "result" {
+		f = Result
+	} else {
+		var err error
+		f, err = fields.ParseID(fieldTok)
+		if err != nil {
+			return Predicate{}, p.errf("unknown field %q", fieldTok)
+		}
+	}
+	op := p.next()
+	cmp, ok := map[string]CmpOp{
+		"==": CmpEq, "!=": CmpNe, ">": CmpGt, ">=": CmpGe, "<": CmpLt, "<=": CmpLe,
+	}[op]
+	if !ok {
+		return Predicate{}, p.errf("unknown comparison %q", op)
+	}
+	valTok := p.next()
+	v, err := parseValue(f, valTok)
+	if err != nil {
+		return Predicate{}, p.errf("%v", err)
+	}
+	// TCP flag names match the flag bit ternarily (syn matches syn+ece
+	// etc. would be wrong for the catalog, so names mean exact equality;
+	// use masked forms in Go code when needed).
+	return Predicate{Field: f, Op: cmp, Value: v}, nil
+}
+
+// parseValue resolves a literal: integer, dotted quad, protocol name, or
+// flag name.
+func parseValue(f fields.ID, tok string) (uint64, error) {
+	if n, err := strconv.ParseUint(tok, 0, 64); err == nil {
+		return n, nil
+	}
+	if strings.Count(tok, ".") == 3 {
+		defer func() { recover() }() // fall through on bad quad
+		return uint64(packet.IPv4Addr(tok)), nil
+	}
+	named := map[string]uint64{
+		"tcp": packet.ProtoTCP, "udp": packet.ProtoUDP, "icmp": packet.ProtoICMP,
+		"syn": packet.FlagSYN, "ack": packet.FlagACK, "fin": packet.FlagFIN,
+		"rst": packet.FlagRST, "synack": packet.FlagSYN | packet.FlagACK,
+		"finack": packet.FlagFIN | packet.FlagACK,
+	}
+	if v, ok := named[strings.ToLower(tok)]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("cannot parse value %q for field %v", tok, f)
+}
+
+// keysArg parses "( key {, key} )" into a mask, supporting prefix
+// notation like sip/24.
+func (p *parser) keysArg() (fields.Mask, error) {
+	var m fields.Mask
+	if err := p.expect("("); err != nil {
+		return m, err
+	}
+	for {
+		id, err := fields.ParseID(p.next())
+		if err != nil {
+			return m, p.errf("%v", err)
+		}
+		bits := id.MaxValue()
+		if p.accept("/") {
+			plen, err := strconv.Atoi(p.next())
+			if err != nil {
+				return m, p.errf("bad prefix length: %v", err)
+			}
+			bits = fields.Prefix(id, plen)
+		}
+		m = m.WithBits(id, bits)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return m, p.expect(")")
+}
+
+// mergeClause parses "( min cmp int )" or "( coeff {, coeff} cmp int )"
+// after the "merge" keyword.
+func (p *parser) mergeClause(b *Builder) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	cmpOf := func(tok string) (CmpOp, bool) {
+		switch tok {
+		case ">":
+			return CmpGt, true
+		case "<":
+			return CmpLt, true
+		}
+		return 0, false
+	}
+	parseTh := func(cmp CmpOp) error {
+		th, err := strconv.ParseInt(p.next(), 0, 64)
+		if err != nil {
+			return p.errf("bad merge threshold: %v", err)
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		if cmp == CmpGt {
+			// MergeMin handled by caller via builder; linear too.
+			_ = th
+		}
+		p.mergeTh, p.mergeCmp = th, cmp
+		return nil
+	}
+	if p.accept("min") {
+		cmp, ok := cmpOf(p.next())
+		if !ok || cmp != CmpGt {
+			return p.errf("merge(min ...) supports only >")
+		}
+		if err := parseTh(cmp); err != nil {
+			return err
+		}
+		b.MergeMin(p.mergeTh)
+		return nil
+	}
+	var coeffs []int64
+	for {
+		neg := p.accept("-")
+		c, err := strconv.ParseInt(p.next(), 0, 64)
+		if err != nil {
+			return p.errf("bad merge coefficient: %v", err)
+		}
+		if neg {
+			c = -c
+		}
+		coeffs = append(coeffs, c)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	cmp, ok := cmpOf(p.next())
+	if !ok {
+		return p.errf("merge wants > or < before the threshold")
+	}
+	if err := parseTh(cmp); err != nil {
+		return err
+	}
+	b.MergeLinear(coeffs, cmp, p.mergeTh)
+	return nil
+}
+
+func (p *parser) reduceStage(b *Builder) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var m fields.Mask
+	for {
+		id, err := fields.ParseID(p.next())
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		bits := id.MaxValue()
+		if p.accept("/") {
+			plen, aerr := strconv.Atoi(p.next())
+			if aerr != nil {
+				return p.errf("bad prefix length: %v", aerr)
+			}
+			bits = fields.Prefix(id, plen)
+		}
+		m = m.WithBits(id, bits)
+		if p.accept(",") {
+			if p.peek() == "sum" {
+				break
+			}
+			continue
+		}
+		break
+	}
+	value := ValueOne
+	if p.accept("sum") {
+		if p.accept("(") {
+			id, err := fields.ParseID(p.next())
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			value = id
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	b.branch.Prims = append(b.branch.Prims, Primitive{Kind: KindReduce, Keys: m, Value: value})
+	return nil
+}

@@ -1,0 +1,218 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/packet"
+)
+
+func TestParseQ1Equivalent(t *testing.T) {
+	q, err := Parse("q1", "filter(proto == tcp && tcp_flags == syn) | map(dip) | reduce(dip, sum) | filter(result > 40)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Q1(40)
+	if q.NumPrimitives() != want.NumPrimitives() {
+		t.Errorf("primitives = %d, want %d", q.NumPrimitives(), want.NumPrimitives())
+	}
+	if q.Threshold() != 40 {
+		t.Errorf("threshold = %d", q.Threshold())
+	}
+	for i, pr := range q.Branches[0].Prims {
+		if pr.Kind != want.Branches[0].Prims[i].Kind {
+			t.Errorf("prim %d kind %v, want %v", i, pr.Kind, want.Branches[0].Prims[i].Kind)
+		}
+	}
+	if !q.ReportKeys().Equal(fields.Keep(fields.DstIP)) {
+		t.Errorf("report keys = %v", q.ReportKeys())
+	}
+}
+
+func TestParseDistinctAndMultiKeys(t *testing.T) {
+	q, err := Parse("scan", "filter(proto == tcp) | map(dip, dport) | distinct(dip, dport) | map(dip) | reduce(dip, sum) | filter(result > 99)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prims := q.Branches[0].Prims
+	if prims[2].Kind != KindDistinct {
+		t.Fatalf("prim 2 = %v", prims[2].Kind)
+	}
+	if !prims[2].Keys.Equal(fields.Keep(fields.DstIP, fields.DstPort)) {
+		t.Errorf("distinct keys = %v", prims[2].Keys)
+	}
+}
+
+func TestParsePrefixKeys(t *testing.T) {
+	q, err := Parse("pfx", "filter(proto == udp) | map(sip/16) | reduce(sip/16, sum) | filter(result > 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fields.Mask{}.WithBits(fields.SrcIP, fields.Prefix(fields.SrcIP, 16))
+	if !q.Branches[0].Prims[1].Keys.Equal(want) {
+		t.Errorf("map mask = %v", q.Branches[0].Prims[1].Keys)
+	}
+	if !q.Branches[0].Prims[2].Keys.Equal(want) {
+		t.Errorf("reduce mask = %v", q.Branches[0].Prims[2].Keys)
+	}
+}
+
+func TestParseSumOfField(t *testing.T) {
+	q, err := Parse("bytes", "filter(proto == tcp) | reduce(dip, sum(len)) | filter(result > 1000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q.Branches[0].Prims[1]
+	if r.Kind != KindReduce || r.Value != fields.PktLen {
+		t.Errorf("reduce = %+v", r)
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	q, err := Parse("vals", "filter(dip == 10.0.0.1 && dport == 443 && proto == tcp) | map(dip) | reduce(dip, sum) | filter(result > 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := q.Branches[0].Prims[0].Preds
+	if preds[0].Value != uint64(packet.IPv4Addr("10.0.0.1")) {
+		t.Errorf("ip literal = %d", preds[0].Value)
+	}
+	if preds[1].Value != 443 || preds[2].Value != packet.ProtoTCP {
+		t.Errorf("literals = %d %d", preds[1].Value, preds[2].Value)
+	}
+}
+
+func TestParseFlagNames(t *testing.T) {
+	q, err := Parse("flags", "filter(tcp_flags == synack) | map(sip) | reduce(sip, sum) | filter(result > 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Branches[0].Prims[0].Preds[0].Value; got != packet.FlagSYN|packet.FlagACK {
+		t.Errorf("synack = %d", got)
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	q, err := Parse("w", "window(250ms) | filter(proto == udp) | reduce(dip, sum) | filter(result > 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window != 250*time.Millisecond {
+		t.Errorf("window = %v", q.Window)
+	}
+}
+
+func TestParseComparisonOperators(t *testing.T) {
+	ops := map[string]CmpOp{
+		"==": CmpEq, "!=": CmpNe, ">": CmpGt, ">=": CmpGe, "<": CmpLt, "<=": CmpLe,
+	}
+	for tok, want := range ops {
+		q, err := Parse("ops", "filter(len "+tok+" 100) | reduce(dip, sum) | filter(result > 1)")
+		if err != nil {
+			t.Fatalf("%s: %v", tok, err)
+		}
+		if got := q.Branches[0].Prims[0].Preds[0].Op; got != want {
+			t.Errorf("%s parsed as %v", tok, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"empty":          "",
+		"unknown prim":   "explode(dip)",
+		"unknown field":  "filter(warp == 9)",
+		"unknown op":     "filter(dip ~ 9)",
+		"bad value":      "filter(dip == banana)",
+		"missing paren":  "filter(proto == tcp",
+		"trailing junk":  "map(dip) extra",
+		"bad window":     "window(soon)",
+		"bad prefix":     "map(sip/xx)",
+		"empty filter":   "filter()",
+		"lonely pipe":    "map(dip) |",
+		"invalid result": "filter(result > 1)", // result before any stateful prim
+	}
+	for name, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("%s: %q parsed without error", name, src)
+		}
+	}
+}
+
+func TestParsedQueryStringRoundTripish(t *testing.T) {
+	q, err := Parse("rt", "filter(proto == tcp && tcp_flags == syn) | map(dip) | reduce(dip, sum) | filter(result > 40)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"filter(proto==6", "map(dip)", "reduce(keys=(dip)", "result>40"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered query missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestParseMultiBranchMerge(t *testing.T) {
+	src := `filter(proto == tcp && tcp_flags == syn) | map(dip) | reduce(dip, sum) | filter(result > 0) ;
+		filter(proto == tcp && tcp_flags == synack) | map(sip) | reduce(sip, sum) | filter(result > 0) ;
+		filter(proto == tcp && tcp_flags == ack) | map(dip) | reduce(dip, sum) | filter(result > 0) ;
+		merge(1, 1, -2 > 30)`
+	q, err := Parse("q6_dsl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Q6(30)
+	if len(q.Branches) != 3 {
+		t.Fatalf("branches = %d", len(q.Branches))
+	}
+	if q.NumPrimitives() != want.NumPrimitives() {
+		t.Errorf("primitives = %d, want %d", q.NumPrimitives(), want.NumPrimitives())
+	}
+	if q.Merge == nil || q.Merge.Op != MergeLinear || q.Merge.Threshold != 30 {
+		t.Fatalf("merge = %+v", q.Merge)
+	}
+	if len(q.Merge.Coeffs) != 3 || q.Merge.Coeffs[2] != -2 {
+		t.Errorf("coeffs = %v", q.Merge.Coeffs)
+	}
+	// And it must survive compilation prerequisites: per-branch
+	// single-field stateful keys.
+	for bi := range q.Branches {
+		if len(q.Branches[bi].StatefulKeys().Fields()) != 1 {
+			t.Errorf("branch %d stateful keys not single-field", bi)
+		}
+	}
+}
+
+func TestParseMergeMin(t *testing.T) {
+	src := `filter(proto == tcp && tcp_flags == syn) | map(dip) | reduce(dip, sum) | filter(result > 0) ;
+		filter(proto == tcp && tcp_flags == finack) | map(dip) | reduce(dip, sum) | filter(result > 0) ;
+		merge(min > 20)`
+	q, err := Parse("q7_dsl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Merge == nil || q.Merge.Op != MergeMin || q.Merge.Threshold != 20 {
+		t.Fatalf("merge = %+v", q.Merge)
+	}
+	if len(q.Branches) != 2 {
+		t.Errorf("branches = %d", len(q.Branches))
+	}
+}
+
+func TestParseMergeErrors(t *testing.T) {
+	bad := map[string]string{
+		"coeff count mismatch": "map(dip) | reduce(dip, sum) ; map(sip) | reduce(sip, sum) ; merge(1 > 5)",
+		"bad coeff":            "map(dip) | reduce(dip, sum) ; map(sip) | reduce(sip, sum) ; merge(x, 1 > 5)",
+		"min with less-than":   "map(dip) | reduce(dip, sum) ; map(sip) | reduce(sip, sum) ; merge(min < 5)",
+		"missing cmp":          "map(dip) | reduce(dip, sum) ; map(sip) | reduce(sip, sum) ; merge(1, 1 5)",
+		"trailing after merge": "map(dip) | reduce(dip, sum) ; map(sip) | reduce(sip, sum) ; merge(1, 1 > 5) extra",
+		"branch without merge": "map(dip) | reduce(dip, sum) ; map(sip) | reduce(sip, sum)",
+	}
+	for name, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}

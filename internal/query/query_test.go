@@ -1,0 +1,305 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/packet"
+)
+
+func TestPredicateEval(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		v    uint64
+		want bool
+	}{
+		{Eq(fields.DstPort, 53), 53, true},
+		{Eq(fields.DstPort, 53), 54, false},
+		{Gt(Result, 10), 11, true},
+		{Gt(Result, 10), 10, false},
+		{Lt(fields.PktLen, 100), 99, true},
+		{Predicate{Field: fields.PktLen, Op: CmpGe, Value: 5}, 5, true},
+		{Predicate{Field: fields.PktLen, Op: CmpLe, Value: 5}, 6, false},
+		{Predicate{Field: fields.PktLen, Op: CmpNe, Value: 5}, 6, true},
+		{MaskEq(fields.TCPFlags, packet.FlagSYN, packet.FlagSYN), packet.FlagSYN | packet.FlagACK, true},
+		{MaskEq(fields.TCPFlags, packet.FlagSYN, packet.FlagSYN), packet.FlagACK, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(c.v); got != c.want {
+			t.Errorf("%v.Eval(%d) = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestPredicateOnResult(t *testing.T) {
+	if !Gt(Result, 1).OnResult() {
+		t.Error("Result predicate not recognized")
+	}
+	if Eq(fields.DstIP, 1).OnResult() {
+		t.Error("field predicate misclassified")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	if s := Eq(fields.DstPort, 53).String(); s != "dport==53" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Gt(Result, 40).String(); s != "result>40" {
+		t.Errorf("String = %q", s)
+	}
+	if s := MaskEq(fields.TCPFlags, 0x2, 0x2).String(); !strings.Contains(s, "&") {
+		t.Errorf("mask String = %q", s)
+	}
+}
+
+func TestIsFrontFilter(t *testing.T) {
+	front := Primitive{Kind: KindFilter, Preds: []Predicate{
+		Eq(fields.Proto, packet.ProtoTCP), Eq(fields.TCPFlags, packet.FlagSYN)}}
+	if !front.IsFrontFilter() {
+		t.Error("5-tuple filter should be front-foldable")
+	}
+	onLen := Primitive{Kind: KindFilter, Preds: []Predicate{Eq(fields.PktLen, 100)}}
+	if onLen.IsFrontFilter() {
+		t.Error("len filter is not a 5-tuple filter")
+	}
+	onResult := Primitive{Kind: KindFilter, Preds: []Predicate{Gt(Result, 1)}}
+	if onResult.IsFrontFilter() {
+		t.Error("result filter cannot fold into newton_init")
+	}
+	ranged := Primitive{Kind: KindFilter, Preds: []Predicate{Gt(fields.DstPort, 1024)}}
+	if ranged.IsFrontFilter() {
+		t.Error("range filter cannot fold into ternary newton_init")
+	}
+	notFilter := Primitive{Kind: KindMap, Keys: fields.Keep(fields.DstIP)}
+	if notFilter.IsFrontFilter() {
+		t.Error("map is not a filter")
+	}
+}
+
+func TestBuilderSingleBranch(t *testing.T) {
+	q := Q1(40)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Q1 invalid: %v", err)
+	}
+	if q.NumPrimitives() != 4 {
+		t.Errorf("Q1 primitives = %d, want 4", q.NumPrimitives())
+	}
+	if q.Window != 100*time.Millisecond {
+		t.Errorf("Q1 window = %v", q.Window)
+	}
+	if q.Threshold() != 40 {
+		t.Errorf("Q1 threshold = %d", q.Threshold())
+	}
+	want := fields.Keep(fields.DstIP)
+	if !q.ReportKeys().Equal(want) {
+		t.Errorf("Q1 report keys = %v", q.ReportKeys())
+	}
+}
+
+func TestAllNineQueriesValid(t *testing.T) {
+	qs := All()
+	if len(qs) != 9 {
+		t.Fatalf("All() = %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("Q%d invalid: %v", i+1, err)
+		}
+		if q.Description == "" {
+			t.Errorf("Q%d missing description", i+1)
+		}
+	}
+}
+
+func TestCatalogPrimitiveCounts(t *testing.T) {
+	// The counts drive Fig. 15's x-axis; pin them so compilation golden
+	// numbers stay stable.
+	want := []int{4, 6, 6, 6, 6, 12, 8, 10, 8}
+	for i, q := range All() {
+		if got := q.NumPrimitives(); got != want[i] {
+			t.Errorf("Q%d primitives = %d, want %d", i+1, got, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	q, err := ByName("q6")
+	if err != nil || q.Name != "q6_syn_flood" {
+		t.Errorf("ByName(q6) = %v, %v", q, err)
+	}
+	q2, err := ByName("q2_ssh_brute")
+	if err != nil || q2.Name != "q2_ssh_brute" {
+		t.Errorf("ByName by full name failed: %v", err)
+	}
+	if _, err := ByName("q99"); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestMergeLinear(t *testing.T) {
+	m := &Merge{Op: MergeLinear, Coeffs: []int64{1, 1, -2}, Cmp: CmpGt, Threshold: 30}
+	if got := m.Apply([]uint64{100, 50, 10}); got != 130 {
+		t.Errorf("Apply = %d, want 130", got)
+	}
+	if !m.Triggered(31) || m.Triggered(30) {
+		t.Error("Triggered boundary wrong")
+	}
+	below := &Merge{Op: MergeLinear, Coeffs: []int64{1}, Cmp: CmpLt, Threshold: 5}
+	if !below.Triggered(4) || below.Triggered(5) {
+		t.Error("CmpLt Triggered wrong")
+	}
+}
+
+func TestMergeMin(t *testing.T) {
+	m := &Merge{Op: MergeMin, Cmp: CmpGt, Threshold: 3}
+	if got := m.Apply([]uint64{9, 4, 7}); got != 4 {
+		t.Errorf("min = %d", got)
+	}
+}
+
+func TestMergeDefaultCoeff(t *testing.T) {
+	m := &Merge{Op: MergeLinear, Coeffs: nil}
+	if got := m.Apply([]uint64{5, 6}); got != 11 {
+		t.Errorf("missing coeffs should default to 1: %d", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mk := func(mut func(*Query)) *Query {
+		q := Q1(40)
+		mut(q)
+		return q
+	}
+	bad := map[string]*Query{
+		"no name":       mk(func(q *Query) { q.Name = "" }),
+		"no branches":   mk(func(q *Query) { q.Branches = nil }),
+		"no window":     mk(func(q *Query) { q.Window = 0 }),
+		"empty branch":  mk(func(q *Query) { q.Branches = append(q.Branches, Branch{}); q.Merge = &Merge{Op: MergeMin} }),
+		"multi nomerge": mk(func(q *Query) { q.Branches = append(q.Branches, q.Branches[0]) }),
+		"bad coeffs": mk(func(q *Query) {
+			q.Branches = append(q.Branches, q.Branches[0])
+			q.Merge = &Merge{Op: MergeLinear, Coeffs: []int64{1}}
+		}),
+		"empty filter": mk(func(q *Query) { q.Branches[0].Prims[0].Preds = nil }),
+		"zero map":     mk(func(q *Query) { q.Branches[0].Prims[1].Keys = fields.Mask{} }),
+		"zero reduce":  mk(func(q *Query) { q.Branches[0].Prims[2].Keys = fields.Mask{} }),
+		"result filter first": mk(func(q *Query) {
+			q.Branches[0].Prims = []Primitive{{Kind: KindFilter, Preds: []Predicate{Gt(Result, 1)}}}
+		}),
+		"bad reduce value": mk(func(q *Query) { q.Branches[0].Prims[2].Value = 99 }),
+	}
+	for name, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid query", name)
+		}
+	}
+}
+
+func TestBuilderPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build of invalid query should panic")
+		}
+	}()
+	New("bad").Filter().Build()
+}
+
+func TestStatefulKeys(t *testing.T) {
+	q := Q4(40)
+	got := q.Branches[0].StatefulKeys()
+	want := fields.Keep(fields.DstIP)
+	if !got.Equal(want) {
+		t.Errorf("StatefulKeys = %v, want %v (last stateful prim is reduce on dip)", got, want)
+	}
+	var empty Branch
+	if !empty.StatefulKeys().IsZero() {
+		t.Error("empty branch should have zero stateful keys")
+	}
+}
+
+func TestQueryStringRendering(t *testing.T) {
+	s := Q6(30).String()
+	for _, want := range []string{"branch 0", "branch 2", "filter", "reduce", "merge"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Q6.String() missing %q:\n%s", want, s)
+		}
+	}
+	if s := Q1(40).String(); strings.Contains(s, "branch") {
+		t.Error("single-branch query should not print branch headers")
+	}
+}
+
+func TestPrimitiveStrings(t *testing.T) {
+	prims := []Primitive{
+		{Kind: KindFilter, Preds: []Predicate{Eq(fields.Proto, 6), Eq(fields.DstPort, 22)}},
+		{Kind: KindMap, Keys: fields.Keep(fields.DstIP)},
+		{Kind: KindDistinct, Keys: fields.Keep(fields.DstIP, fields.SrcIP)},
+		{Kind: KindReduce, Keys: fields.Keep(fields.DstIP), Value: ValueOne},
+		{Kind: KindReduce, Keys: fields.Keep(fields.DstIP), Value: fields.PktLen},
+	}
+	want := []string{
+		"filter(proto==6 && dport==22)",
+		"map(dip)",
+		"distinct(sip, dip)",
+		"reduce(keys=(dip), f=sum(1))",
+		"reduce(keys=(dip), f=sum(len))",
+	}
+	for i, pr := range prims {
+		if got := pr.String(); got != want[i] {
+			t.Errorf("prim %d String = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	if Q6(30).Threshold() != 30 {
+		t.Error("merge threshold not surfaced")
+	}
+	if Q2(20).Threshold() != 20 {
+		t.Error("filter threshold not surfaced")
+	}
+	noTh := New("x").Map(fields.DstIP).Build()
+	if noTh.Threshold() != 0 {
+		t.Error("threshold of stateless query should be 0")
+	}
+	if !noTh.ReportKeys().Equal(fields.Keep(fields.DstIP)) {
+		t.Error("stateless report keys should come from map")
+	}
+}
+
+func TestReportKeysEmptyQuery(t *testing.T) {
+	q := &Query{}
+	if !q.ReportKeys().IsZero() {
+		t.Error("empty query should report zero keys")
+	}
+}
+
+func TestMergeApplyQuick(t *testing.T) {
+	// MergeMin is never larger than any branch result.
+	f := func(a, b, c uint32) bool {
+		m := &Merge{Op: MergeMin}
+		g := m.Apply([]uint64{uint64(a), uint64(b), uint64(c)})
+		return g <= int64(a) && g <= int64(b) && g <= int64(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindAndCmpStrings(t *testing.T) {
+	if KindFilter.String() != "filter" || KindReduce.String() != "reduce" {
+		t.Error("prim kind names wrong")
+	}
+	if PrimKind(9).String() != "prim(9)" {
+		t.Error("out-of-range prim kind")
+	}
+	if CmpGt.String() != ">" || CmpMaskEq.String() != "&==" {
+		t.Error("cmp names wrong")
+	}
+	if CmpOp(99).String() != "cmp(99)" {
+		t.Error("out-of-range cmp")
+	}
+}

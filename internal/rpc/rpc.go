@@ -1,0 +1,247 @@
+// Package rpc is the control channel between the Newton controller and
+// switch agents — the role P4Runtime plays on real Tofino deployments.
+// It carries compiled programs, rule operations, window-epoch ticks, and
+// report drains over TCP as length-framed JSON messages, using only the
+// standard library.
+//
+// A switch-side Agent wraps a module engine; a controller-side Client
+// dials it:
+//
+//	agent := rpc.NewAgent(sw, eng)
+//	go agent.Serve(listener)
+//	...
+//	c, _ := rpc.Dial(addr)
+//	c.Install(program)
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/modules"
+)
+
+// maxFrame bounds one control message (a compiled program is a few KB;
+// a report drain a few hundred KB at worst).
+const maxFrame = 8 << 20
+
+// Message types.
+const (
+	typeInstall = "install"
+	typeRemove  = "remove"
+	typeStats   = "stats"
+	typeDrain   = "drain_reports"
+	typeEpoch   = "next_epoch"
+)
+
+// Request is one controller → agent message.
+type Request struct {
+	Type    string           `json:"type"`
+	QID     int              `json:"qid,omitempty"`
+	Program *modules.Program `json:"program,omitempty"`
+}
+
+// Stats is the agent's rule/program accounting.
+type Stats struct {
+	RuleEntries int `json:"rule_entries"`
+	Installed   int `json:"installed"`
+}
+
+// Response is one agent → controller message.
+type Response struct {
+	OK      bool               `json:"ok"`
+	Error   string             `json:"error,omitempty"`
+	Stats   *Stats             `json:"stats,omitempty"`
+	Reports []dataplane.Report `json:"reports,omitempty"`
+}
+
+// writeFrame sends one length-prefixed JSON message.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame receives one length-prefixed JSON message into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("rpc: inbound frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("rpc: decoding: %w", err)
+	}
+	return nil
+}
+
+// Agent is the switch-side control endpoint.
+type Agent struct {
+	mu  sync.Mutex
+	sw  *dataplane.Switch
+	eng *modules.Engine
+}
+
+// NewAgent wraps a switch and its module engine.
+func NewAgent(sw *dataplane.Switch, eng *modules.Engine) *Agent {
+	return &Agent{sw: sw, eng: eng}
+}
+
+// Serve accepts controller connections until the listener closes.
+func (a *Agent) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go a.HandleConn(conn)
+	}
+}
+
+// HandleConn serves one controller connection (exported so tests can
+// drive net.Pipe ends directly).
+func (a *Agent) HandleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return // connection closed or poisoned; drop it
+		}
+		resp := a.dispatch(&req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (a *Agent) dispatch(req *Request) *Response {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch req.Type {
+	case typeInstall:
+		if req.Program == nil {
+			return &Response{Error: "install without program"}
+		}
+		if err := a.eng.Install(req.Program); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true}
+	case typeRemove:
+		if err := a.eng.Remove(req.QID); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true}
+	case typeStats:
+		return &Response{OK: true, Stats: &Stats{
+			RuleEntries: a.eng.Layout().TotalRuleEntries(),
+			Installed:   a.eng.InstalledCount(),
+		}}
+	case typeDrain:
+		return &Response{OK: true, Reports: a.sw.DrainReports()}
+	case typeEpoch:
+		a.eng.Layout().Pipeline().NextEpoch()
+		return &Response{OK: true}
+	}
+	return &Response{Error: fmt.Sprintf("unknown request type %q", req.Type)}
+}
+
+// Client is the controller-side endpoint.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to an agent's TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dialing agent: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one end of net.Pipe).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("rpc: agent: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Install loads a compiled program into the remote engine.
+func (c *Client) Install(p *modules.Program) error {
+	_, err := c.roundTrip(&Request{Type: typeInstall, Program: p})
+	return err
+}
+
+// Remove uninstalls a query by QID.
+func (c *Client) Remove(qid int) error {
+	_, err := c.roundTrip(&Request{Type: typeRemove, QID: qid})
+	return err
+}
+
+// Stats fetches the remote rule/program counts.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(&Request{Type: typeStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	return *resp.Stats, nil
+}
+
+// DrainReports pulls and clears the remote report buffer.
+func (c *Client) DrainReports() ([]dataplane.Report, error) {
+	resp, err := c.roundTrip(&Request{Type: typeDrain})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Reports, nil
+}
+
+// NextEpoch rolls the remote register windows (the controller's 100 ms
+// tick).
+func (c *Client) NextEpoch() error {
+	_, err := c.roundTrip(&Request{Type: typeEpoch})
+	return err
+}

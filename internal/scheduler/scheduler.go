@@ -1,0 +1,216 @@
+// Package scheduler plans concurrent query admission — the open problem
+// §7 of the paper leaves as future work ("this paper does not design the
+// solution for scheduling concurrent queries to optimally utilize data
+// plane resources").
+//
+// Given a set of prioritized monitoring intents and one device's budget
+// (stages, per-bank registers, per-module rule capacity), the scheduler
+// compiles each query, then admits queries in priority order at the
+// widest sketch geometry that still fits — degrading a query's register
+// width (its accuracy) before rejecting it outright. The produced plan
+// is sound by construction: Apply installs it into a real module engine
+// and every admission succeeds.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/query"
+)
+
+// Request is one query the operator wants deployed.
+type Request struct {
+	Query    *query.Query
+	Priority int // higher admits first
+
+	// MinWidth and MaxWidth bound the acceptable register width per
+	// sketch row (accuracy ladder). Zero values default to 256 and 4096.
+	MinWidth, MaxWidth uint32
+}
+
+// Budget is one device's resource envelope.
+type Budget struct {
+	// Stages is the module stage count of the pipeline.
+	Stages int
+	// ArraySize is each state bank's register count.
+	ArraySize uint32
+	// RulesPerModule is each module table's rule capacity.
+	RulesPerModule int
+}
+
+// DefaultBudget mirrors the evaluation's device: 12 stages, 4096
+// registers per bank, 256 rules per module.
+func DefaultBudget() Budget {
+	return Budget{Stages: 12, ArraySize: 4096, RulesPerModule: modules.DefaultRulesPerModule}
+}
+
+// Decision is the scheduler's verdict for one request.
+type Decision struct {
+	Request  Request
+	Admitted bool
+	Width    uint32 // granted register width (0 if rejected)
+	Reason   string // why rejected or degraded
+	Program  *modules.Program
+	Stats    compiler.Stats
+}
+
+// bankKey identifies one state bank and one module table.
+type bankKey struct{ stage, set int }
+type tableKey struct {
+	stage, set int
+	kind       modules.Kind
+}
+
+// Plan admits requests in priority order (ties broken by arrival order),
+// degrading widths down the ladder before rejecting. The plan never
+// overcommits: register and rule accounting mirrors the engine's
+// allocator exactly.
+func Plan(reqs []Request, b Budget) []Decision {
+	if b.Stages <= 0 || b.ArraySize == 0 || b.RulesPerModule <= 0 {
+		b = DefaultBudget()
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, c int) bool {
+		return reqs[order[a]].Priority > reqs[order[c]].Priority
+	})
+
+	regsUsed := map[bankKey]uint32{}
+	rulesUsed := map[tableKey]int{}
+	initRules := 0
+
+	decisions := make([]Decision, len(reqs))
+	qid := 1
+	for _, idx := range order {
+		req := reqs[idx]
+		d := Decision{Request: req}
+		minW, maxW := req.MinWidth, req.MaxWidth
+		if minW == 0 {
+			minW = 256
+		}
+		if maxW == 0 {
+			maxW = 4096
+		}
+
+		var lastErr string
+		for w := maxW; w >= minW; w /= 2 {
+			o := compiler.AllOpts()
+			o.QID = qid
+			o.Width = w
+			p, err := compiler.Compile(req.Query, o)
+			if err != nil {
+				lastErr = err.Error()
+				break // compilation failure does not improve with width
+			}
+			if fits, why := fits(p, b, regsUsed, rulesUsed, initRules); !fits {
+				lastErr = why
+				continue
+			}
+			commit(p, regsUsed, rulesUsed)
+			initRules += len(p.Branches)
+			d.Admitted = true
+			d.Width = w
+			d.Program = p
+			d.Stats = compiler.Measure(req.Query, p)
+			if w != maxW {
+				d.Reason = fmt.Sprintf("degraded from %d to %d registers per row", maxW, w)
+			}
+			qid++
+			break
+		}
+		if !d.Admitted {
+			d.Reason = lastErr
+			if d.Reason == "" {
+				d.Reason = "does not fit at any acceptable width"
+			}
+		}
+		decisions[idx] = d
+	}
+	return decisions
+}
+
+// fits checks a compiled program against the remaining budget.
+func fits(p *modules.Program, b Budget, regs map[bankKey]uint32, rules map[tableKey]int, initRules int) (bool, string) {
+	if s := p.NumStages(); s > b.Stages {
+		return false, fmt.Sprintf("needs %d stages, device has %d", s, b.Stages)
+	}
+	wantRegs := map[bankKey]uint32{}
+	wantRules := map[tableKey]int{}
+	branches := 0
+	for _, br := range p.Branches {
+		branches++
+		for _, op := range br.Ops {
+			tk := tableKey{op.Stage, op.Set & 1, op.Kind}
+			wantRules[tk]++
+			if op.Kind == modules.ModS && op.S != nil && !op.S.PassThrough && !op.S.CrossRead {
+				wantRegs[bankKey{op.Stage, op.Set & 1}] += op.Width()
+			}
+		}
+	}
+	for k, w := range wantRegs {
+		if regs[k]+w > b.ArraySize {
+			return false, fmt.Sprintf("state bank at stage %d set %d needs %d registers, %d free",
+				k.stage, k.set, w, b.ArraySize-regs[k])
+		}
+	}
+	for k, n := range wantRules {
+		if rules[k]+n > b.RulesPerModule {
+			return false, fmt.Sprintf("%v table at stage %d set %d out of rule capacity", k.kind, k.stage, k.set)
+		}
+	}
+	if initRules+branches > b.RulesPerModule*4 {
+		return false, "newton_init out of rule capacity"
+	}
+	return true, ""
+}
+
+// commit reserves a program's footprint.
+func commit(p *modules.Program, regs map[bankKey]uint32, rules map[tableKey]int) {
+	for _, br := range p.Branches {
+		for _, op := range br.Ops {
+			rules[tableKey{op.Stage, op.Set & 1, op.Kind}]++
+			if op.Kind == modules.ModS && op.S != nil && !op.S.PassThrough && !op.S.CrossRead {
+				regs[bankKey{op.Stage, op.Set & 1}] += op.Width()
+			}
+		}
+	}
+}
+
+// Apply installs every admitted decision into an engine. The plan's
+// accounting matches the engine's allocator, so Apply only fails if the
+// engine diverges from the budget it was planned for.
+func Apply(decisions []Decision, eng *modules.Engine) error {
+	for i := range decisions {
+		d := &decisions[i]
+		if !d.Admitted {
+			continue
+		}
+		if err := eng.Install(d.Program); err != nil {
+			return fmt.Errorf("scheduler: plan unsound at %s: %w", d.Request.Query.Name, err)
+		}
+	}
+	return nil
+}
+
+// Summary renders the plan for operators.
+func Summary(decisions []Decision) string {
+	s := ""
+	for _, d := range decisions {
+		status := "REJECTED"
+		detail := d.Reason
+		if d.Admitted {
+			status = "admitted"
+			detail = fmt.Sprintf("width=%d stages=%d rules=%d", d.Width, d.Stats.Stages, d.Stats.Rules)
+			if d.Reason != "" {
+				detail += " (" + d.Reason + ")"
+			}
+		}
+		s += fmt.Sprintf("%-26s prio=%-3d %s  %s\n", d.Request.Query.Name, d.Request.Priority, status, detail)
+	}
+	return s
+}

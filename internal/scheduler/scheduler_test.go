@@ -1,0 +1,152 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/query"
+)
+
+func allRequests(prio func(i int) int) []Request {
+	qs := query.All()
+	reqs := make([]Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = Request{Query: q, Priority: prio(i)}
+	}
+	return reqs
+}
+
+func TestPlanAdmitsEverythingWithAmpleBudget(t *testing.T) {
+	b := Budget{Stages: 16, ArraySize: 1 << 20, RulesPerModule: 1024}
+	ds := Plan(allRequests(func(i int) int { return 1 }), b)
+	for i, d := range ds {
+		if !d.Admitted {
+			t.Errorf("Q%d rejected under ample budget: %s", i+1, d.Reason)
+		}
+		if d.Width != 4096 {
+			t.Errorf("Q%d degraded to %d despite ample budget", i+1, d.Width)
+		}
+	}
+}
+
+func TestPlanDegradesWidthUnderRegisterPressure(t *testing.T) {
+	// Banks too small for everyone at 4096: at least one lower-priority
+	// query survives by taking a narrower sketch instead of rejection.
+	b := Budget{Stages: 16, ArraySize: 10240, RulesPerModule: 1024}
+	ds := Plan(allRequests(func(i int) int { return 9 - i }), b)
+	admitted, degraded := 0, 0
+	for _, d := range ds {
+		if d.Admitted {
+			admitted++
+			if d.Width < 4096 {
+				degraded++
+			}
+		}
+	}
+	if admitted < 3 {
+		t.Errorf("only %d admitted under register pressure", admitted)
+	}
+	if degraded == 0 {
+		t.Error("nothing degraded despite register pressure")
+	}
+	// More registers admit more queries (monotone in budget).
+	ds2 := Plan(allRequests(func(i int) int { return 9 - i }), Budget{Stages: 16, ArraySize: 1 << 16, RulesPerModule: 1024})
+	admitted2 := 0
+	for _, d := range ds2 {
+		if d.Admitted {
+			admitted2++
+		}
+	}
+	if admitted2 <= admitted {
+		t.Errorf("bigger banks admitted %d <= %d", admitted2, admitted)
+	}
+	// The highest-priority query keeps the full width.
+	if !ds[0].Admitted || ds[0].Width != 4096 {
+		t.Errorf("top-priority query got %+v", ds[0])
+	}
+}
+
+func TestPlanRespectsPriorityOrder(t *testing.T) {
+	// Give Q6 (the largest) top priority under a tight budget: it must
+	// be considered first and admitted.
+	b := Budget{Stages: 16, ArraySize: 8192, RulesPerModule: 1024}
+	prio := func(i int) int {
+		if i == 5 {
+			return 100
+		}
+		return 1
+	}
+	ds := Plan(allRequests(prio), b)
+	if !ds[5].Admitted {
+		t.Fatalf("top-priority Q6 rejected: %s", ds[5].Reason)
+	}
+}
+
+func TestPlanRejectsOnStages(t *testing.T) {
+	b := Budget{Stages: 6, ArraySize: 1 << 20, RulesPerModule: 1024}
+	ds := Plan(allRequests(func(i int) int { return 1 }), b)
+	if !ds[0].Admitted { // Q1 fits 6 stages
+		t.Errorf("Q1 rejected: %s", ds[0].Reason)
+	}
+	if ds[5].Admitted { // Q6 needs ~10 stages
+		t.Error("Q6 admitted into a 6-stage device")
+	}
+	if !strings.Contains(ds[5].Reason, "stages") {
+		t.Errorf("rejection reason unhelpful: %q", ds[5].Reason)
+	}
+}
+
+func TestPlanIsSound(t *testing.T) {
+	// Whatever the plan admits must actually install into a real engine
+	// with exactly the planned budget.
+	b := Budget{Stages: 16, ArraySize: 16384, RulesPerModule: 256}
+	ds := Plan(allRequests(func(i int) int { return 9 - i }), b)
+	layout, err := modules.NewLayout(modules.LayoutCompact, b.Stages, b.ArraySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(ds, modules.NewEngine(layout)); err != nil {
+		t.Fatalf("plan unsound: %v", err)
+	}
+	admitted := 0
+	for _, d := range ds {
+		if d.Admitted {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted — soundness vacuous")
+	}
+}
+
+func TestPlanDefaultsAndSummary(t *testing.T) {
+	ds := Plan(allRequests(func(i int) int { return 1 }), Budget{})
+	s := Summary(ds)
+	if !strings.Contains(s, "q1_new_tcp_connections") {
+		t.Error("summary missing rows")
+	}
+	anyAdmitted := false
+	for _, d := range ds {
+		if d.Admitted {
+			anyAdmitted = true
+		}
+	}
+	if !anyAdmitted {
+		t.Error("default budget admits nothing")
+	}
+}
+
+func TestPlanWidthLadderBounds(t *testing.T) {
+	reqs := []Request{{Query: query.Q1(40), Priority: 1, MinWidth: 2048, MaxWidth: 2048}}
+	// Bank smaller than the only acceptable width: reject, don't degrade
+	// below MinWidth.
+	b := Budget{Stages: 16, ArraySize: 2047, RulesPerModule: 256}
+	ds := Plan(reqs, b)
+	if ds[0].Admitted {
+		t.Error("admitted below the request's minimum width")
+	}
+	if ds[0].Reason == "" {
+		t.Error("missing rejection reason")
+	}
+}

@@ -1,0 +1,103 @@
+// Package sketch implements the probabilistic data structures Newton's
+// state bank realizes on registers — Count-Min sketches for reduce(sum)
+// and Bloom filters for distinct — plus the configurable hash family the
+// hash-calculation module (H) exposes. The package is also used directly
+// by the software analyzer and by the Scream baseline.
+package sketch
+
+import (
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+)
+
+// Algo selects one of the hash algorithms a Tofino-style hash engine
+// offers. The exact polynomials matter less than having several
+// independent functions available per stage.
+type Algo uint8
+
+const (
+	// CRC32IEEE is the standard Ethernet CRC-32 polynomial.
+	CRC32IEEE Algo = iota
+	// CRC32Castagnoli is the iSCSI CRC-32C polynomial.
+	CRC32Castagnoli
+	// CRC32Koopman is the Koopman CRC-32K polynomial.
+	CRC32Koopman
+	// FNV1a is 32-bit FNV-1a.
+	FNV1a
+	// Identity passes the low 32 bits of the input through ("direct
+	// mode" in the paper: the hash result is a key verbatim).
+	Identity
+	numAlgos
+)
+
+var algoNames = [numAlgos]string{"crc32", "crc32c", "crc32k", "fnv1a", "identity"}
+
+// String returns the short algorithm name.
+func (a Algo) String() string {
+	if a < numAlgos {
+		return algoNames[a]
+	}
+	return fmt.Sprintf("algo(%d)", uint8(a))
+}
+
+var (
+	castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
+	koopmanTable    = crc32.MakeTable(crc32.Koopman)
+)
+
+// Sum computes the 32-bit hash of data under algorithm a with the given
+// seed. Seeding lets one algorithm provide the independent functions a
+// multi-row sketch needs. CRC is linear — prefix-seeding it would only
+// XOR a per-seed constant into the result, leaving rows perfectly
+// correlated — so the seed is folded in through a nonlinear finalizer
+// (Murmur3's), which is exactly how hardware hash engines derive
+// multiple "units" from one polynomial.
+func (a Algo) Sum(data []byte, seed uint32) uint32 {
+	switch a {
+	case CRC32IEEE:
+		return fmix32(crc32.ChecksumIEEE(data) ^ seed)
+	case CRC32Castagnoli:
+		return fmix32(crc32.Checksum(data, castagnoliTable) ^ seed)
+	case CRC32Koopman:
+		return fmix32(crc32.Checksum(data, koopmanTable) ^ seed)
+	case FNV1a:
+		var pre [4]byte
+		pre[0], pre[1], pre[2], pre[3] = byte(seed>>24), byte(seed>>16), byte(seed>>8), byte(seed)
+		h := fnv.New32a()
+		h.Write(pre[:])
+		h.Write(data)
+		return h.Sum32()
+	case Identity:
+		var v uint32
+		for _, b := range data {
+			v = v<<8 | uint32(b)
+		}
+		return v
+	}
+	panic(fmt.Sprintf("sketch: unknown hash algo %d", a))
+}
+
+// fmix32 is Murmur3's 32-bit finalizer: a cheap bijective scrambler that
+// decorrelates seed variants of a linear checksum.
+func fmix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85EBCA6B
+	h ^= h >> 13
+	h *= 0xC2B2AE35
+	h ^= h >> 16
+	return h
+}
+
+// Fold reduces a 32-bit hash into [0, rangeSize). rangeSize must be
+// positive. For power-of-two ranges this is a mask, matching how the H
+// module's "range of the hash result" is configured in hardware.
+func Fold(h uint32, rangeSize uint32) uint32 {
+	if rangeSize == 0 {
+		panic("sketch: zero hash range")
+	}
+	if rangeSize&(rangeSize-1) == 0 {
+		return h & (rangeSize - 1)
+	}
+	return h % rangeSize
+}

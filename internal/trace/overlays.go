@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/newton-net/newton/internal/packet"
+)
+
+// SYNFlood floods Victim with Packets SYNs from spoofed sources that
+// never complete the handshake. Ground truth for Q6 (and Q1's
+// new-connection counts spike on the victim).
+type SYNFlood struct {
+	Victim  uint32
+	Packets int
+}
+
+func (a SYNFlood) String() string {
+	return fmt.Sprintf("syn-flood(victim=%s, n=%d)", ipStr(a.Victim), a.Packets)
+}
+
+func (a SYNFlood) apply(g *generator) {
+	g.truth.SYNFloodVictims[a.Victim] = true
+	for i := 0; i < a.Packets; i++ {
+		src := g.rng.Uint32() // spoofed
+		sport := uint16(g.rng.Intn(60000) + 1024)
+		g.emit(g.randTS(), src, a.Victim, packet.ProtoTCP, sport, 80, packet.FlagSYN, 0)
+	}
+}
+
+// UDPFlood floods Victim with UDP from Sources distinct spoofed senders.
+// Ground truth for Q5 (distinct sources per destination).
+type UDPFlood struct {
+	Victim  uint32
+	Sources int
+}
+
+func (a UDPFlood) String() string {
+	return fmt.Sprintf("udp-flood(victim=%s, sources=%d)", ipStr(a.Victim), a.Sources)
+}
+
+func (a UDPFlood) apply(g *generator) {
+	g.truth.UDPFloodVictims[a.Victim] = true
+	for i := 0; i < a.Sources; i++ {
+		src := 0xD000_0000 | uint32(i) // unique sources
+		for j := 0; j < 2; j++ {
+			g.emit(g.randTS(), src, a.Victim, packet.ProtoUDP,
+				uint16(g.rng.Intn(60000)+1024), uint16(g.rng.Intn(1000)+1), 0, 512)
+		}
+	}
+}
+
+// PortScan has Scanner probe Ports distinct ports on Victim with SYNs.
+// Ground truth for Q4 (distinct destination ports per scanned host).
+type PortScan struct {
+	Scanner, Victim uint32
+	Ports           int
+}
+
+func (a PortScan) String() string {
+	return fmt.Sprintf("port-scan(victim=%s, ports=%d)", ipStr(a.Victim), a.Ports)
+}
+
+func (a PortScan) apply(g *generator) {
+	g.truth.ScanVictims[a.Victim] = true
+	for p := 0; p < a.Ports; p++ {
+		g.emit(g.randTS(), a.Scanner, a.Victim, packet.ProtoTCP,
+			uint16(g.rng.Intn(60000)+1024), uint16(p+1), packet.FlagSYN, 0)
+	}
+}
+
+// SSHBrute hammers Victim:22 with Attempts login attempts, each carrying
+// a distinct payload length. Ground truth for Q2 (distinct packet lengths
+// to port 22 per destination).
+type SSHBrute struct {
+	Victim   uint32
+	Attempts int
+}
+
+func (a SSHBrute) String() string {
+	return fmt.Sprintf("ssh-brute(victim=%s, attempts=%d)", ipStr(a.Victim), a.Attempts)
+}
+
+func (a SSHBrute) apply(g *generator) {
+	g.truth.SSHBruteVictims[a.Victim] = true
+	src := 0xD100_0000 | uint32(g.rng.Intn(1<<16))
+	for i := 0; i < a.Attempts; i++ {
+		// Distinct lengths so distinct(dip, len) counts every attempt.
+		g.emit(g.randTS(), src, a.Victim, packet.ProtoTCP,
+			uint16(g.rng.Intn(60000)+1024), 22, packet.FlagACK|packet.FlagPSH, 100+i)
+	}
+}
+
+// Slowloris opens Conns connections to Victim, each trickling a handful
+// of tiny segments: many connections, few bytes. Ground truth for Q8.
+type Slowloris struct {
+	Victim uint32
+	Conns  int
+}
+
+func (a Slowloris) String() string {
+	return fmt.Sprintf("slowloris(victim=%s, conns=%d)", ipStr(a.Victim), a.Conns)
+}
+
+func (a Slowloris) apply(g *generator) {
+	g.truth.SlowlorisVictims[a.Victim] = true
+	for c := 0; c < a.Conns; c++ {
+		src := 0xD200_0000 | uint32(c)
+		sport := uint16(10000 + c%50000)
+		g.tcpFlow(src, a.Victim, sport, 80, 1, 0, true) // 1 tiny data segment
+	}
+}
+
+// DNSNoTCP sends DNS responses to Hosts clients that never open a TCP
+// connection afterwards. Ground truth for Q9.
+type DNSNoTCP struct {
+	Hosts   int
+	Queries int // DNS responses per host
+}
+
+func (a DNSNoTCP) String() string {
+	return fmt.Sprintf("dns-no-tcp(hosts=%d)", a.Hosts)
+}
+
+func (a DNSNoTCP) apply(g *generator) {
+	resolver := uint32(0x0808_0808)
+	for h := 0; h < a.Hosts; h++ {
+		host := 0xD300_0000 | uint32(h)
+		g.truth.DNSOnlyHosts[host] = true
+		for q := 0; q < a.Queries; q++ {
+			g.emit(g.randTS(), resolver, host, packet.ProtoUDP, 53,
+				uint16(g.rng.Intn(60000)+1024), 0, 120)
+		}
+	}
+}
+
+// SuperSpreader has Source contact Fanout distinct destinations. Ground
+// truth for Q3 (distinct destinations per source).
+type SuperSpreader struct {
+	Source uint32
+	Fanout int
+}
+
+func (a SuperSpreader) String() string {
+	return fmt.Sprintf("super-spreader(src=%s, fanout=%d)", ipStr(a.Source), a.Fanout)
+}
+
+func (a SuperSpreader) apply(g *generator) {
+	g.truth.SuperSpreaders[a.Source] = true
+	for i := 0; i < a.Fanout; i++ {
+		dst := 0xD400_0000 | uint32(i)
+		g.emit(g.randTS(), a.Source, dst, packet.ProtoTCP,
+			uint16(g.rng.Intn(60000)+1024), 443, packet.FlagSYN, 0)
+	}
+}
+
+func ipStr(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip>>24, ip>>16&0xFF, ip>>8&0xFF, ip&0xFF)
+}

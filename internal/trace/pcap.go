@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/newton-net/newton/internal/packet"
+)
+
+// Classic libpcap file format (no external dependencies): a 24-byte
+// global header followed by per-packet record headers. We write
+// nanosecond-resolution files (magic 0xA1B23C4D) because the simulator's
+// virtual clock is nanosecond-granular.
+const (
+	pcapMagicNanos  = 0xA1B23C4D
+	pcapMagicMicros = 0xA1B2C3D4
+	linkTypeEth     = 1
+	pcapSnapLen     = 65535
+)
+
+// WritePcap serializes the trace's packets into pcap on w.
+func WritePcap(w io.Writer, pkts []*packet.Packet) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version 2.4
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeEth)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: writing pcap header: %w", err)
+	}
+	var rec [16]byte
+	for _, p := range pkts {
+		buf := p.Serialize()
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(p.TS/1e9))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(p.TS%1e9))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(buf)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(buf)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: writing pcap record: %w", err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("trace: writing pcap packet: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadPcap parses a pcap stream back into packets. Both nanosecond and
+// microsecond files are accepted; byte order is auto-detected from the
+// magic. Packets that fail to decode (e.g. truncated captures) are
+// skipped and counted in the returned skip count.
+func ReadPcap(r io.Reader) (pkts []*packet.Packet, skipped int, err error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("trace: reading pcap header: %w", err)
+	}
+	var order binary.ByteOrder = binary.LittleEndian
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	nanos := false
+	switch magic {
+	case pcapMagicNanos:
+		nanos = true
+	case pcapMagicMicros:
+	default:
+		order = binary.BigEndian
+		magic = binary.BigEndian.Uint32(hdr[0:4])
+		switch magic {
+		case pcapMagicNanos:
+			nanos = true
+		case pcapMagicMicros:
+		default:
+			return nil, 0, errors.New("trace: not a pcap file")
+		}
+	}
+	if lt := order.Uint32(hdr[20:24]); lt != linkTypeEth {
+		return nil, 0, fmt.Errorf("trace: unsupported link type %d", lt)
+	}
+	var rec [16]byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return pkts, skipped, nil
+			}
+			return nil, 0, fmt.Errorf("trace: reading pcap record: %w", err)
+		}
+		capLen := order.Uint32(rec[8:12])
+		if capLen > pcapSnapLen {
+			return nil, 0, fmt.Errorf("trace: implausible capture length %d", capLen)
+		}
+		buf := make([]byte, capLen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, 0, fmt.Errorf("trace: reading pcap packet: %w", err)
+		}
+		p, derr := packet.Decode(buf)
+		if derr != nil {
+			skipped++
+			continue
+		}
+		sec := uint64(order.Uint32(rec[0:4]))
+		sub := uint64(order.Uint32(rec[4:8]))
+		if nanos {
+			p.TS = sec*1e9 + sub
+		} else {
+			p.TS = sec*1e9 + sub*1e3
+		}
+		pkts = append(pkts, p)
+	}
+}

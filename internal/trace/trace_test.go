@@ -1,0 +1,315 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/packet"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 11, Flows: 200, Duration: time.Second}
+	a := Generate(cfg, SYNFlood{Victim: 0x0A000001, Packets: 50})
+	b := Generate(cfg, SYNFlood{Victim: 0x0A000001, Packets: 50})
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Packets), len(b.Packets))
+	}
+	for i := range a.Packets {
+		if a.Packets[i].Flow() != b.Packets[i].Flow() || a.Packets[i].TS != b.Packets[i].TS {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSorted(t *testing.T) {
+	tr := Generate(Config{Seed: 3, Flows: 500, Duration: 500 * time.Millisecond})
+	if !sort.SliceIsSorted(tr.Packets, func(i, j int) bool {
+		return tr.Packets[i].TS < tr.Packets[j].TS
+	}) {
+		t.Error("packets not sorted by timestamp")
+	}
+	for _, p := range tr.Packets {
+		if p.TS >= uint64(500*time.Millisecond) {
+			t.Fatalf("timestamp %d beyond duration", p.TS)
+		}
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	caida := Generate(Config{Seed: 5, Flows: 2000, Duration: time.Second, Profile: CAIDA})
+	mawi := Generate(Config{Seed: 5, Flows: 2000, Duration: time.Second, Profile: MAWI})
+	frac := func(tr *Trace) float64 {
+		tcp := 0
+		for _, p := range tr.Packets {
+			if p.TCP != nil {
+				tcp++
+			}
+		}
+		return float64(tcp) / float64(len(tr.Packets))
+	}
+	if frac(caida) <= frac(mawi) {
+		t.Errorf("CAIDA should be more TCP-heavy: %.2f vs %.2f", frac(caida), frac(mawi))
+	}
+	if CAIDA.String() != "CAIDA" || MAWI.String() != "MAWI" {
+		t.Error("profile names wrong")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	tr := Generate(Config{Seed: 9, Flows: 3000, Duration: time.Second})
+	counts := map[packet.FlowKey]int{}
+	for _, p := range tr.Packets {
+		counts[p.Flow()]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for _, c := range counts {
+		sizes = append(sizes, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	top10 := 0
+	for _, s := range sizes[:len(sizes)/10] {
+		top10 += s
+	}
+	if got := float64(top10) / float64(total); got < 0.4 {
+		t.Errorf("top-10%% of flows carry only %.2f of packets; want heavy tail", got)
+	}
+}
+
+func TestSYNFloodOverlay(t *testing.T) {
+	victim := uint32(0x0A0000FE)
+	tr := Generate(Config{Seed: 1, Flows: 0, Duration: time.Second}, SYNFlood{Victim: victim, Packets: 100})
+	if !tr.Truth.SYNFloodVictims[victim] {
+		t.Error("truth not recorded")
+	}
+	if len(tr.Packets) != 100 {
+		t.Fatalf("got %d packets, want 100", len(tr.Packets))
+	}
+	for _, p := range tr.Packets {
+		if p.IP.Dst != victim || p.TCP == nil || p.TCP.Flags != packet.FlagSYN {
+			t.Fatal("non-SYN or wrong destination in flood")
+		}
+	}
+}
+
+func TestUDPFloodDistinctSources(t *testing.T) {
+	victim := uint32(0x0A0000FD)
+	tr := Generate(Config{Seed: 2, Flows: 0, Duration: time.Second}, UDPFlood{Victim: victim, Sources: 64})
+	srcs := map[uint32]bool{}
+	for _, p := range tr.Packets {
+		if p.UDP == nil {
+			t.Fatal("non-UDP packet in UDP flood")
+		}
+		srcs[p.IP.Src] = true
+	}
+	if len(srcs) != 64 {
+		t.Errorf("distinct sources = %d, want 64", len(srcs))
+	}
+}
+
+func TestPortScanDistinctPorts(t *testing.T) {
+	tr := Generate(Config{Seed: 2, Flows: 0, Duration: time.Second},
+		PortScan{Scanner: 1, Victim: 2, Ports: 300})
+	ports := map[uint16]bool{}
+	for _, p := range tr.Packets {
+		ports[p.TCP.DstPort] = true
+	}
+	if len(ports) != 300 {
+		t.Errorf("distinct ports = %d, want 300", len(ports))
+	}
+	if !tr.Truth.ScanVictims[2] {
+		t.Error("scan victim truth missing")
+	}
+}
+
+func TestSSHBruteDistinctLengths(t *testing.T) {
+	tr := Generate(Config{Seed: 4, Flows: 0, Duration: time.Second}, SSHBrute{Victim: 9, Attempts: 50})
+	lens := map[int]bool{}
+	for _, p := range tr.Packets {
+		if p.TCP.DstPort != 22 {
+			t.Fatal("ssh packet not to port 22")
+		}
+		lens[p.Len()] = true
+	}
+	if len(lens) != 50 {
+		t.Errorf("distinct lengths = %d, want 50", len(lens))
+	}
+}
+
+func TestSlowlorisManyConnsFewBytes(t *testing.T) {
+	tr := Generate(Config{Seed: 4, Flows: 0, Duration: time.Second}, Slowloris{Victim: 9, Conns: 40})
+	syns, bytes := 0, 0
+	for _, p := range tr.Packets {
+		if p.TCP.Flags == packet.FlagSYN {
+			syns++
+		}
+		bytes += p.PayloadLen
+	}
+	if syns != 40 {
+		t.Errorf("connections = %d, want 40", syns)
+	}
+	if bytes > 40*200 {
+		t.Errorf("slowloris carried %d payload bytes; should be tiny", bytes)
+	}
+}
+
+func TestDNSNoTCPOverlay(t *testing.T) {
+	tr := Generate(Config{Seed: 4, Flows: 0, Duration: time.Second}, DNSNoTCP{Hosts: 5, Queries: 3})
+	if len(tr.Truth.DNSOnlyHosts) != 5 {
+		t.Errorf("hosts in truth = %d", len(tr.Truth.DNSOnlyHosts))
+	}
+	for _, p := range tr.Packets {
+		if p.UDP == nil || p.UDP.SrcPort != 53 {
+			t.Fatal("DNS overlay emitted non-DNS packet")
+		}
+		if p.TCP != nil {
+			t.Fatal("DNS-only host got TCP")
+		}
+	}
+}
+
+func TestSuperSpreaderFanout(t *testing.T) {
+	tr := Generate(Config{Seed: 4, Flows: 0, Duration: time.Second}, SuperSpreader{Source: 7, Fanout: 123})
+	dsts := map[uint32]bool{}
+	for _, p := range tr.Packets {
+		if p.IP.Src != 7 {
+			t.Fatal("wrong source")
+		}
+		dsts[p.IP.Dst] = true
+	}
+	if len(dsts) != 123 {
+		t.Errorf("fanout = %d, want 123", len(dsts))
+	}
+}
+
+func TestOverlayStrings(t *testing.T) {
+	for _, ov := range []Overlay{
+		SYNFlood{Victim: 1, Packets: 2}, UDPFlood{Victim: 1, Sources: 2},
+		PortScan{Victim: 1, Ports: 2}, SSHBrute{Victim: 1, Attempts: 2},
+		Slowloris{Victim: 1, Conns: 2}, DNSNoTCP{Hosts: 1}, SuperSpreader{Source: 1, Fanout: 2},
+	} {
+		if ov.String() == "" {
+			t.Errorf("%T has empty String()", ov)
+		}
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	tr := Generate(Config{Seed: 8, Flows: 100, Duration: time.Second},
+		SYNFlood{Victim: 3, Packets: 20})
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr.Packets); err != nil {
+		t.Fatalf("WritePcap: %v", err)
+	}
+	got, skipped, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatalf("ReadPcap: %v", err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped %d packets", skipped)
+	}
+	if len(got) != len(tr.Packets) {
+		t.Fatalf("count: %d vs %d", len(got), len(tr.Packets))
+	}
+	for i := range got {
+		if got[i].Flow() != tr.Packets[i].Flow() {
+			t.Fatalf("packet %d flow differs", i)
+		}
+		if got[i].TS != tr.Packets[i].TS {
+			t.Fatalf("packet %d ts %d vs %d", i, got[i].TS, tr.Packets[i].TS)
+		}
+	}
+}
+
+func TestReadPcapRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadPcap(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Error("garbage magic accepted")
+	}
+	if _, _, err := ReadPcap(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 10})
+	if len(tr.Packets) == 0 {
+		t.Error("zero packets with default duration")
+	}
+}
+
+func TestGenerateNegativeFlowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative flows should panic")
+		}
+	}()
+	Generate(Config{Seed: 1, Flows: -1})
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(Config{Seed: int64(i), Flows: 1000, Duration: time.Second})
+	}
+}
+
+func TestReadPcapMicrosecondFormat(t *testing.T) {
+	// Hand-build a microsecond-resolution pcap (magic 0xA1B2C3D4) and
+	// check the timestamps scale to nanoseconds.
+	p := &packet.Packet{
+		IP:  packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: 1, Dst: 2},
+		UDP: &packet.UDP{SrcPort: 53, DstPort: 99},
+	}
+	raw := p.Serialize()
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xA1B2C3D4)
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[0:4], 3)   // 3 s
+	binary.LittleEndian.PutUint32(rec[4:8], 500) // 500 µs
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(raw)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(raw)))
+	buf.Write(rec)
+	buf.Write(raw)
+
+	pkts, skipped, err := ReadPcap(&buf)
+	if err != nil || skipped != 0 || len(pkts) != 1 {
+		t.Fatalf("ReadPcap: %v %d %d", err, skipped, len(pkts))
+	}
+	if want := uint64(3*1e9 + 500*1e3); pkts[0].TS != want {
+		t.Errorf("TS = %d, want %d", pkts[0].TS, want)
+	}
+}
+
+func TestReadPcapSkipsUndecodable(t *testing.T) {
+	tr := Generate(Config{Seed: 1, Flows: 5, Duration: time.Millisecond})
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr.Packets); err != nil {
+		t.Fatal(err)
+	}
+	// Append a record whose payload is garbage (bad ethertype).
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], 14)
+	binary.LittleEndian.PutUint32(rec[12:16], 14)
+	buf.Write(rec)
+	buf.Write(make([]byte, 14)) // ethertype 0x0000
+	pkts, skipped, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(pkts) != len(tr.Packets) {
+		t.Errorf("decoded = %d, want %d", len(pkts), len(tr.Packets))
+	}
+}
