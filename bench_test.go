@@ -14,8 +14,86 @@ import (
 	"time"
 
 	"github.com/newton-net/newton/internal/baselines"
+	"github.com/newton-net/newton/internal/compiler"
 	"github.com/newton-net/newton/internal/experiments"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/topology"
+	"github.com/newton-net/newton/internal/trace"
 )
+
+// throughputNet builds the standard throughput workload: one switch with
+// all nine queries installed and a pre-generated evaluation trace, so the
+// benchmark loop measures nothing but the per-packet fast path.
+func throughputNet(b *testing.B) (*netsim.Network, []int, int, int, []*trace.Trace) {
+	b.Helper()
+	topo, h1, h2 := topology.Linear(1)
+	net, err := netsim.New(topo, netsim.Config{Stages: 16, ArraySize: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := net.Node(topo.Switches()[0])
+	for i, q := range query.All() {
+		o := compiler.AllOpts()
+		o.QID = i + 1
+		o.Width = 1 << 12
+		p, err := compiler.Compile(q, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.Eng.Install(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tr := trace.Generate(trace.Config{Seed: 99, Flows: 2000, Duration: 400 * time.Millisecond},
+		trace.SYNFlood{Victim: 0x0A0000AA, Packets: 600},
+		trace.PortScan{Scanner: 0x0B000001, Victim: 0x0A0000AC, Ports: 200})
+	return net, topo.Switches(), h1, h2, []*trace.Trace{tr}
+}
+
+// BenchmarkPacketThroughput is the headline fast-path number: packets per
+// second through one fully-loaded Newton switch (all nine queries), with
+// allocations per packet on the steady-state path.
+func BenchmarkPacketThroughput(b *testing.B) {
+	net, sws, _, _, trs := throughputNet(b)
+	pkts := trs[0].Packets
+	// Warm: one full pass settles register epochs and caches.
+	for _, pkt := range pkts {
+		net.DeliverPath(pkt, sws)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.DeliverPath(pkts[i%len(pkts)], sws)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+	net.DrainReports()
+}
+
+// BenchmarkPacketThroughputBatch drives the same workload through the
+// parallel batch-delivery path (flow-sharded workers, per-worker report
+// buffers) — the path the experiment harness uses. On multi-core hosts
+// this scales with GOMAXPROCS; per-flow ordering is preserved.
+func BenchmarkPacketThroughputBatch(b *testing.B) {
+	net, _, h1, h2, trs := throughputNet(b)
+	pkts := trs[0].Packets
+	net.DeliverBatch(pkts, h1, h2)
+	net.DrainReports()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		chunk := pkts
+		if rem := b.N - done; rem < len(chunk) {
+			chunk = chunk[:rem]
+		}
+		net.DeliverBatch(chunk, h1, h2)
+		done += len(chunk)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+	net.DrainReports()
+}
 
 // BenchmarkTable3Resources regenerates Table 3 (per-stage, per-module,
 // per-primitive resource utilization).

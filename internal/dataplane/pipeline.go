@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/newton-net/newton/internal/fields"
 	"github.com/newton-net/newton/internal/packet"
@@ -115,13 +116,34 @@ type Context struct {
 	// partition (§5.1). The deparser applies it after the program runs.
 	OutSP *packet.SPHeader
 
+	// sink, when non-nil, receives mirrored reports instead of the
+	// switch's shared buffer — the per-worker report buffers of parallel
+	// batch delivery.
+	sink *[]Report
+
+	// seq marks the context as sequential: exactly one goroutine is
+	// delivering packets, so counter updates and register transactions
+	// may skip their atomic (LOCK-prefixed) forms. Batch workers leave
+	// it false. Results are identical either way — the atomic forms are
+	// linearizable and the sequential forms never race by construction.
+	seq bool
+
 	sw *Switch
 }
 
-// Mirror emits a monitoring report to the switch's report sink.
+// Sequential reports whether the context belongs to a single-goroutine
+// delivery path (see the seq field).
+func (c *Context) Sequential() bool { return c.seq }
+
+// Mirror emits a monitoring report to the context's report sink (the
+// switch's buffer, or the caller-owned buffer of a batch worker).
 func (c *Context) Mirror(r Report) {
 	r.SwitchID = c.sw.ID
 	r.TS = c.Pkt.TS
+	if c.sink != nil {
+		*c.sink = append(*c.sink, r)
+		return
+	}
 	c.sw.reports = append(c.sw.reports, r)
 }
 
@@ -146,7 +168,8 @@ func (ForwardAction) ActionName() string { return "forward" }
 // ActionName implements Action.
 func (DropAction) ActionName() string { return "drop" }
 
-// Counters tracks a switch's packet counters.
+// Counters tracks a switch's packet counters. The switch updates them
+// atomically so parallel batch delivery counts exactly.
 type Counters struct {
 	Rx, Tx, Dropped uint64
 }
@@ -169,6 +192,12 @@ type Switch struct {
 	up       bool
 	counters Counters
 	reports  []Report
+
+	// ctx is the reusable per-packet context of the sequential Process
+	// path; keeping it on the switch stops the Context (and its large
+	// PHV) escaping to the heap on every packet. Parallel delivery
+	// supplies caller-owned contexts via ProcessCtx instead.
+	ctx Context
 }
 
 // NewSwitch builds a switch with the given pipeline geometry.
@@ -188,7 +217,13 @@ func (sw *Switch) Up() bool { return sw.up }
 func (sw *Switch) SetUp(up bool) { sw.up = up }
 
 // Counters returns a copy of the packet counters.
-func (sw *Switch) Counters() Counters { return sw.counters }
+func (sw *Switch) Counters() Counters {
+	return Counters{
+		Rx:      atomic.LoadUint64(&sw.counters.Rx),
+		Tx:      atomic.LoadUint64(&sw.counters.Tx),
+		Dropped: atomic.LoadUint64(&sw.counters.Dropped),
+	}
+}
 
 // AddRoute installs a destination route: prefix/plen -> egress port.
 func (sw *Switch) AddRoute(prefix uint32, plen int, port int) error {
@@ -201,38 +236,80 @@ func (sw *Switch) AddRoute(prefix uint32, plen int, port int) error {
 // Process runs one packet through the switch: parse, monitor, forward.
 // It returns the egress port (-1 when dropped) and whether the packet
 // was forwarded. Reports generated by the monitor are buffered on the
-// switch until DrainReports.
+// switch until DrainReports. Process is single-caller; concurrent
+// delivery must use ProcessCtx with caller-owned contexts.
 func (sw *Switch) Process(pkt *packet.Packet) (egress int, forwarded bool) {
-	sw.counters.Rx++
+	sw.ctx.seq = true
+	return sw.ProcessCtx(pkt, &sw.ctx)
+}
+
+// ProcessCtx is the re-entrant form of Process: the caller owns the
+// execution context (and, through Context.sink, the report buffer), so
+// any number of workers can push packets through the same switch
+// concurrently. State access stays exact: tables are read through
+// immutable snapshots and register ALU transactions are linearizable.
+func (sw *Switch) ProcessCtx(pkt *packet.Packet, ctx *Context) (egress int, forwarded bool) {
+	seq := ctx.seq
+	if seq {
+		sw.counters.Rx++
+	} else {
+		atomic.AddUint64(&sw.counters.Rx, 1)
+	}
 	if !sw.up {
-		sw.counters.Dropped++
+		sw.drop(seq)
 		return -1, false
 	}
 
 	if sw.Monitor != nil {
-		ctx := Context{Pkt: pkt, sw: sw}
-		ctx.PHV.Fields = pkt.Fields()
+		// Surgical reset instead of a whole-struct clear: KeyBuf is
+		// append-only scratch (never read past what the current packet
+		// wrote), so re-zeroing its 96 bytes per packet is wasted work.
+		// Everything the program can read before writing is reset here.
+		ctx.Pkt = pkt
+		ctx.sw = sw
+		ctx.OutSP = nil
+		pkt.FieldsInto(&ctx.PHV.Fields)
+		ctx.PHV.Sets[0] = fields.MetadataSet{}
+		ctx.PHV.Sets[1] = fields.MetadataSet{}
+		ctx.PHV.GlobalResult = 0
 		ctx.PHV.QueryID = -1
-		sw.Monitor.Execute(&ctx)
+		ctx.PHV.Step = 0
+		ctx.PHV.Stopped = false
+		sw.Monitor.Execute(ctx)
 		pkt.SP = ctx.OutSP // deparser: attach, forward, or strip the snapshot
 	}
 
 	rule := sw.Forwarding.Lookup(uint64(pkt.IP.Dst))
 	if rule == nil {
-		sw.counters.Dropped++
+		sw.drop(seq)
 		return -1, false
 	}
 	switch a := rule.Action.(type) {
 	case ForwardAction:
-		sw.counters.Tx++
+		if seq {
+			sw.counters.Tx++
+		} else {
+			atomic.AddUint64(&sw.counters.Tx, 1)
+		}
 		return a.Port, true
-	case DropAction:
-		sw.counters.Dropped++
-		return -1, false
 	default:
-		sw.counters.Dropped++
+		sw.drop(seq)
 		return -1, false
 	}
+}
+
+func (sw *Switch) drop(seq bool) {
+	if seq {
+		sw.counters.Dropped++
+	} else {
+		atomic.AddUint64(&sw.counters.Dropped, 1)
+	}
+}
+
+// NewBatchContext returns an execution context whose mirrored reports go
+// to the given caller-owned buffer — one per batch worker.
+func NewBatchContext(sink *[]Report) *Context {
+	return &Context{sink: sink}
 }
 
 // DrainReports returns and clears the buffered monitoring reports.

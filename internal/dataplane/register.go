@@ -1,6 +1,9 @@
 package dataplane
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // SALUOp is one of the stateful-ALU operations the state bank supports
 // (§4.1: "Newton supports four types of ALU. As BF needs | and CM needs
@@ -39,12 +42,20 @@ func (op SALUOp) String() string {
 // a register written in an older epoch reads as zero. This reproduces
 // the "values of reduce and distinct are evaluated and reset every 100ms"
 // discipline without a control-plane sweep.
+//
+// Each register packs its epoch tag and value into one uint64 word
+// updated by compare-and-swap, so every SALU transaction is linearizable.
+// Hardware performs one such transaction per packet per register at line
+// rate; the CAS gives the parallel packet-delivery path (netsim's
+// DeliverBatch) the same per-register atomicity, and on the sequential
+// path the CAS never retries, keeping results bit-identical to a plain
+// read-modify-write.
 type RegisterArray struct {
 	Name string
 
-	vals   []uint32
-	epochs []uint32
-	epoch  uint32
+	// words[i] = epoch tag (high 32 bits) | value (low 32 bits).
+	words []uint64
+	epoch atomic.Uint32
 }
 
 // NewRegisterArray allocates an array of size registers.
@@ -53,50 +64,101 @@ func NewRegisterArray(name string, size uint32) *RegisterArray {
 		panic("dataplane: zero-size register array")
 	}
 	return &RegisterArray{
-		Name:   name,
-		vals:   make([]uint32, size),
-		epochs: make([]uint32, size),
+		Name:  name,
+		words: make([]uint64, size),
 	}
 }
 
 // Size returns the number of registers.
-func (ra *RegisterArray) Size() uint32 { return uint32(len(ra.vals)) }
+func (ra *RegisterArray) Size() uint32 { return uint32(len(ra.words)) }
 
 // NextEpoch starts a new window: all registers read as zero until
-// rewritten.
-func (ra *RegisterArray) NextEpoch() { ra.epoch++ }
+// rewritten. It must not run concurrently with Exec — netsim rolls
+// epochs only at batch barriers.
+func (ra *RegisterArray) NextEpoch() { ra.epoch.Add(1) }
 
 // Epoch returns the current window number.
-func (ra *RegisterArray) Epoch() uint32 { return ra.epoch }
+func (ra *RegisterArray) Epoch() uint32 { return ra.epoch.Load() }
 
 // Exec performs one stateful-ALU transaction on register idx and returns
 // the op's result. Out-of-range indices panic: the hash-calculation
 // module is responsible for folding hash results into range, and an
 // out-of-range access is a compiler bug, not a runtime condition.
 func (ra *RegisterArray) Exec(op SALUOp, idx uint32, operand uint32) uint32 {
-	if idx >= uint32(len(ra.vals)) {
-		panic(fmt.Sprintf("dataplane: register %s[%d] out of range (size %d)", ra.Name, idx, len(ra.vals)))
+	if idx >= uint32(len(ra.words)) {
+		panic(fmt.Sprintf("dataplane: register %s[%d] out of range (size %d)", ra.Name, idx, len(ra.words)))
 	}
-	if ra.epochs[idx] != ra.epoch {
-		ra.epochs[idx] = ra.epoch
-		ra.vals[idx] = 0
+	epoch := ra.epoch.Load()
+	w := &ra.words[idx]
+	switch op {
+	case OpRead:
+		cur := atomic.LoadUint64(w)
+		if uint32(cur>>32) != epoch {
+			return 0 // stale window: reads as zero until rewritten
+		}
+		return uint32(cur)
+	case OpWrite:
+		// A blind store is linearizable without a CAS loop.
+		atomic.StoreUint64(w, uint64(epoch)<<32|uint64(operand))
+		return operand
+	case OpAdd:
+		for {
+			cur := atomic.LoadUint64(w)
+			val := uint32(cur)
+			if uint32(cur>>32) != epoch {
+				val = 0
+			}
+			next := val + operand
+			if atomic.CompareAndSwapUint64(w, cur, uint64(epoch)<<32|uint64(next)) {
+				return next
+			}
+		}
+	case OpOr:
+		for {
+			cur := atomic.LoadUint64(w)
+			val := uint32(cur)
+			if uint32(cur>>32) != epoch {
+				val = 0
+			}
+			if atomic.CompareAndSwapUint64(w, cur, uint64(epoch)<<32|uint64(val|operand)) {
+				return val
+			}
+		}
+	}
+	panic(fmt.Sprintf("dataplane: unknown SALU op %d", op))
+}
+
+// ExecSeq is Exec without the LOCK-prefixed instructions, for
+// single-goroutine delivery (Context.Sequential). It performs the same
+// epoch-tagged read-modify-write; on the sequential path Exec's CAS
+// never retries, so the two produce bit-identical results.
+func (ra *RegisterArray) ExecSeq(op SALUOp, idx uint32, operand uint32) uint32 {
+	if idx >= uint32(len(ra.words)) {
+		panic(fmt.Sprintf("dataplane: register %s[%d] out of range (size %d)", ra.Name, idx, len(ra.words)))
+	}
+	epoch := ra.epoch.Load()
+	w := &ra.words[idx]
+	cur := *w
+	val := uint32(cur)
+	if uint32(cur>>32) != epoch {
+		val = 0 // stale window: reads as zero until rewritten
 	}
 	switch op {
 	case OpRead:
-		return ra.vals[idx]
+		return val
 	case OpWrite:
-		ra.vals[idx] = operand
+		*w = uint64(epoch)<<32 | uint64(operand)
 		return operand
 	case OpAdd:
-		ra.vals[idx] += operand
-		return ra.vals[idx]
+		next := val + operand
+		*w = uint64(epoch)<<32 | uint64(next)
+		return next
 	case OpOr:
-		old := ra.vals[idx]
-		ra.vals[idx] |= operand
-		return old
+		*w = uint64(epoch)<<32 | uint64(val|operand)
+		return val
 	}
 	panic(fmt.Sprintf("dataplane: unknown SALU op %d", op))
 }
 
 // MemoryBytes returns the SRAM footprint of the value array.
-func (ra *RegisterArray) MemoryBytes() int { return len(ra.vals) * 4 }
+func (ra *RegisterArray) MemoryBytes() int { return len(ra.words) * 4 }

@@ -14,8 +14,10 @@ package dataplane
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // MatchKind distinguishes the matching disciplines a table supports. All
@@ -56,7 +58,8 @@ type Action interface {
 
 // Rule is one table entry: per-column value/mask pairs, a priority, and
 // an action. Higher priority wins; insertion order breaks ties (as if
-// earlier rules sat higher in TCAM).
+// earlier rules sat higher in TCAM). A Rule is immutable once installed;
+// snapshots share rule pointers freely.
 type Rule struct {
 	ID       int
 	Priority int
@@ -77,20 +80,92 @@ func (r *Rule) Matches(vals []uint64) bool {
 	return true
 }
 
+// before orders rules by priority desc, then insertion sequence asc —
+// the TCAM match order.
+func (r *Rule) before(o *Rule) bool {
+	if r.Priority != o.Priority {
+		return r.Priority > o.Priority
+	}
+	return r.seq < o.seq
+}
+
+// maxIndexCols bounds the column count the exact-match index covers;
+// wider tables fall back to the ternary scan (none exist today).
+const maxIndexCols = 8
+
+// exactKey is the hash-index key: the rule's (full-mask) column values,
+// zero-padded. Tables have a fixed column count, so padding is unambiguous.
+type exactKey [maxIndexCols]uint64
+
+// tableSnap is one immutable rule-set snapshot. Readers load it via an
+// atomic pointer and never take a lock; writers build a fresh snapshot
+// under the table mutex and publish it atomically (copy-on-write).
+type tableSnap struct {
+	// rules holds every rule in match order (priority desc, seq asc).
+	rules []*Rule
+	// ternary holds, in match order, the rules with at least one
+	// non-full mask — the ones the hash index cannot serve.
+	ternary []*Rule
+	// exact indexes the full-mask rules by column values; each bucket is
+	// in match order (duplicates keep TCAM tie-breaking).
+	exact map[exactKey][]*Rule
+}
+
+var emptySnap = &tableSnap{}
+
+// buildSnap constructs the immutable snapshot for a rule list already in
+// match order.
+func buildSnap(rules []*Rule, cols int) *tableSnap {
+	s := &tableSnap{rules: rules}
+	if cols > maxIndexCols {
+		s.ternary = rules
+		return s
+	}
+	for _, r := range rules {
+		full := true
+		for _, m := range r.Masks {
+			if m != ^uint64(0) {
+				full = false
+				break
+			}
+		}
+		if !full {
+			s.ternary = append(s.ternary, r)
+			continue
+		}
+		if s.exact == nil {
+			s.exact = make(map[exactKey][]*Rule)
+		}
+		var k exactKey
+		copy(k[:], r.Values)
+		s.exact[k] = append(s.exact[k], r)
+	}
+	return s
+}
+
 // Table is a match-action table with runtime-updatable rules — the
 // reconfigurable component Newton leans on (§2.1: "match-action table
 // rules belong to [runtime reconfigurability]").
+//
+// Concurrency: the per-packet read path (Lookup, LookupAll, Entries,
+// Rules) is lock-free — it reads an immutable copy-on-write snapshot
+// through an atomic pointer, so lookups never block rule updates and
+// vice versa. Writers (AddRule, RemoveRule, Clear) serialize on an
+// internal mutex, build a fresh snapshot, and publish it atomically.
+// A reader that raced a writer sees either the old or the new rule set,
+// never a torn one.
 type Table struct {
 	Name       string
 	Kind       MatchKind
 	Cols       int // number of match columns
 	MaxEntries int
 
-	mu     sync.RWMutex
-	rules  []*Rule // sorted: priority desc, then seq asc
-	byID   map[int]*Rule
-	nextID int
-	seq    int
+	mu      sync.Mutex // serializes writers
+	snap    atomic.Pointer[tableSnap]
+	version atomic.Uint64 // bumped on every rule-set change
+	byID    map[int]*Rule
+	nextID  int
+	seq     int
 
 	// Default is executed when no rule matches (may be nil).
 	Default Action
@@ -104,15 +179,23 @@ func NewTable(name string, kind MatchKind, cols, maxEntries int) *Table {
 	if maxEntries <= 0 {
 		maxEntries = 1 << 20
 	}
-	return &Table{
+	t := &Table{
 		Name: name, Kind: kind, Cols: cols, MaxEntries: maxEntries,
 		byID: make(map[int]*Rule),
 	}
+	t.snap.Store(emptySnap)
+	return t
 }
+
+// Version returns a counter that changes whenever the rule set changes.
+// Caches keyed on lookup results (the module engine's dispatch cache)
+// compare versions to detect staleness.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // AddRule installs a rule at runtime and returns its ID. Exact-match
 // rules may omit masks (full masks are implied). For LPM the mask of the
-// first column determines priority (longer prefix wins).
+// first column determines priority (longer prefix wins); non-contiguous
+// LPM masks are rejected.
 func (t *Table) AddRule(values, masks []uint64, priority int, action Action) (int, error) {
 	if len(values) != t.Cols {
 		return 0, fmt.Errorf("dataplane: table %s wants %d columns, got %d", t.Name, t.Cols, len(values))
@@ -134,12 +217,17 @@ func (t *Table) AddRule(values, masks []uint64, priority int, action Action) (in
 		}
 	}
 	if t.Kind == MatchLPM {
-		priority = prefixLen(masks[0])
+		plen, err := prefixLen(masks[0])
+		if err != nil {
+			return 0, fmt.Errorf("dataplane: lpm table %s: %w", t.Name, err)
+		}
+		priority = plen
 	}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.rules) >= t.MaxEntries {
+	old := t.snap.Load()
+	if len(old.rules) >= t.MaxEntries {
 		return 0, fmt.Errorf("dataplane: table %s full (%d entries)", t.Name, t.MaxEntries)
 	}
 	t.nextID++
@@ -150,14 +238,19 @@ func (t *Table) AddRule(values, masks []uint64, priority int, action Action) (in
 		Masks:  append([]uint64(nil), masks...),
 		Action: action, seq: t.seq,
 	}
-	t.rules = append(t.rules, r)
-	sort.SliceStable(t.rules, func(i, j int) bool {
-		if t.rules[i].Priority != t.rules[j].Priority {
-			return t.rules[i].Priority > t.rules[j].Priority
-		}
-		return t.rules[i].seq < t.rules[j].seq
+	// Binary-search insertion: the list is already in match order, so a
+	// single copy-with-insert replaces the old whole-slice re-sort. The
+	// new rule has the highest seq, so it lands after every rule of equal
+	// priority.
+	pos := sort.Search(len(old.rules), func(i int) bool {
+		return old.rules[i].Priority < r.Priority
 	})
+	rules := make([]*Rule, 0, len(old.rules)+1)
+	rules = append(rules, old.rules[:pos]...)
+	rules = append(rules, r)
+	rules = append(rules, old.rules[pos:]...)
 	t.byID[r.ID] = r
+	t.publish(rules)
 	return r.ID, nil
 }
 
@@ -169,76 +262,127 @@ func (t *Table) RemoveRule(id int) error {
 		return fmt.Errorf("dataplane: table %s has no rule %d", t.Name, id)
 	}
 	delete(t.byID, id)
-	for i, r := range t.rules {
-		if r.ID == id {
-			t.rules = append(t.rules[:i], t.rules[i+1:]...)
-			break
+	old := t.snap.Load()
+	rules := make([]*Rule, 0, len(old.rules)-1)
+	for _, r := range old.rules {
+		if r.ID != id {
+			rules = append(rules, r)
 		}
 	}
+	t.publish(rules)
 	return nil
 }
 
-// Lookup returns the highest-priority matching rule, or nil.
+// publish builds and atomically installs the snapshot for rules (already
+// in match order). Callers hold t.mu.
+func (t *Table) publish(rules []*Rule) {
+	t.snap.Store(buildSnap(rules, t.Cols))
+	t.version.Add(1)
+}
+
+// Lookup returns the highest-priority matching rule, or nil. Lock-free:
+// it reads the current snapshot, probing the exact-match hash index
+// before falling back to the ternary scan.
 func (t *Table) Lookup(vals ...uint64) *Rule {
 	if len(vals) != t.Cols {
 		panic(fmt.Sprintf("dataplane: table %s lookup with %d values, want %d", t.Name, len(vals), t.Cols))
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, r := range t.rules {
+	s := t.snap.Load()
+	var best *Rule
+	if s.exact != nil {
+		var k exactKey
+		copy(k[:], vals)
+		if bucket := s.exact[k]; len(bucket) > 0 {
+			best = bucket[0]
+		}
+	}
+	for _, r := range s.ternary {
+		if best != nil && best.before(r) {
+			break // ternary is in match order; nothing later can win
+		}
 		if r.Matches(vals) {
 			return r
 		}
 	}
-	return nil
+	return best
 }
 
 // LookupAll returns every matching rule in priority order. Newton's
 // newton_init uses it to dispatch one packet to every query chain that
 // monitors its traffic class ("Newton chains the queries monitoring the
-// same traffic", §4.1).
+// same traffic", §4.1). The result is freshly allocated; use
+// LookupAllAppend on the per-packet path.
 func (t *Table) LookupAll(vals ...uint64) []*Rule {
 	if len(vals) != t.Cols {
 		panic(fmt.Sprintf("dataplane: table %s lookup with %d values, want %d", t.Name, len(vals), t.Cols))
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var out []*Rule
-	for _, r := range t.rules {
-		if r.Matches(vals) {
-			out = append(out, r)
-		}
+	return t.LookupAllAppend(nil, vals)
+}
+
+// LookupAllAppend appends every matching rule in priority order to dst
+// and returns the extended slice. It performs no allocation beyond what
+// dst needs to grow, so a caller-owned buffer makes repeated lookups
+// allocation-free.
+func (t *Table) LookupAllAppend(dst []*Rule, vals []uint64) []*Rule {
+	if len(vals) != t.Cols {
+		panic(fmt.Sprintf("dataplane: table %s lookup with %d values, want %d", t.Name, len(vals), t.Cols))
 	}
-	return out
+	s := t.snap.Load()
+	var bucket []*Rule
+	if s.exact != nil {
+		var k exactKey
+		copy(k[:], vals)
+		bucket = s.exact[k]
+	}
+	// Merge the (match-ordered) index bucket with the (match-ordered)
+	// ternary scan, preserving global match order.
+	bi := 0
+	for _, r := range s.ternary {
+		if !r.Matches(vals) {
+			continue
+		}
+		for bi < len(bucket) && bucket[bi].before(r) {
+			dst = append(dst, bucket[bi])
+			bi++
+		}
+		dst = append(dst, r)
+	}
+	dst = append(dst, bucket[bi:]...)
+	return dst
 }
 
 // Entries returns the current rule count.
 func (t *Table) Entries() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rules)
+	return len(t.snap.Load().rules)
 }
 
 // Clear removes all rules (used by the Sonata reboot model).
 func (t *Table) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rules = nil
 	t.byID = make(map[int]*Rule)
+	t.snap.Store(emptySnap)
+	t.version.Add(1)
 }
 
-// Rules returns a snapshot of the rules in match order.
+// Rules returns the current snapshot of the rules in match order. The
+// returned slice is immutable shared state: it stays coherent while
+// concurrent AddRule/RemoveRule/Clear calls proceed, but does not
+// reflect them.
 func (t *Table) Rules() []*Rule {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return append([]*Rule(nil), t.rules...)
+	return t.snap.Load().rules
 }
 
-func prefixLen(mask uint64) int {
-	n := 0
-	for mask != 0 {
-		n += int(mask & 1)
-		mask >>= 1
+// prefixLen returns the prefix length of an LPM mask. The mask's set
+// bits must be contiguous (a prefix possibly shifted within the 64-bit
+// storage of a narrower field); anything else would silently mis-rank
+// the rule, so it is rejected.
+func prefixLen(mask uint64) (int, error) {
+	if mask != 0 {
+		run := mask >> bits.TrailingZeros64(mask)
+		if run&(run+1) != 0 {
+			return 0, fmt.Errorf("non-contiguous LPM mask %#x", mask)
+		}
 	}
-	return n
+	return bits.OnesCount64(mask), nil
 }

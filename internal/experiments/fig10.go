@@ -54,14 +54,26 @@ func Fig10Interruption(pps int, seconds int, fwdEntries int) *Fig10Result {
 		sw := topo.Switches()[0]
 		series := make([]uint64, seconds)
 		var opDur time.Duration
-		updated := false
 		gap := uint64(time.Second) / uint64(pps)
-		var dropped uint64
-		for i := 0; i < pps*seconds; i++ {
-			ts := uint64(i) * gap
-			if !updated && ts >= uint64(res.UpdateAtSecond)*uint64(time.Second) {
-				updated = true
-				net.AdvanceTo(ts)
+
+		// Pre-generate the constant-rate stream (contiguously, like a
+		// trace), then deliver it second by second on the batch path.
+		// The query update lands exactly at its original point: the
+		// first packet of second UpdateAtSecond.
+		pkts := make([]*packet.Packet, pps*seconds)
+		slab := make([]packet.Packet, len(pkts))
+		udps := make([]packet.UDP, len(pkts))
+		for i := range pkts {
+			udps[i] = packet.UDP{SrcPort: 1000, DstPort: 2000}
+			slab[i] = packet.Packet{TS: uint64(i) * gap,
+				IP:  packet.IPv4{Proto: packet.ProtoUDP, Src: uint32(i), Dst: 0x0A000001},
+				UDP: &udps[i]}
+			pkts[i] = &slab[i]
+		}
+		prevDelivered, prevDropped := net.Stats()
+		for b := 0; b < seconds; b++ {
+			if b == res.UpdateAtSecond {
+				net.AdvanceTo(uint64(b) * uint64(time.Second))
 				if sonata {
 					s := controller.NewSonata(net, 1)
 					opDur = s.UpdateQueries(sw, fwdEntries)
@@ -73,18 +85,13 @@ func Fig10Interruption(pps int, seconds int, fwdEntries int) *Fig10Result {
 					}
 				}
 			}
-			pkt := &packet.Packet{TS: ts,
-				IP:  packet.IPv4{Proto: packet.ProtoUDP, Src: uint32(i), Dst: 0x0A000001},
-				UDP: &packet.UDP{SrcPort: 1000, DstPort: 2000}}
-			if _, ok := net.Deliver(pkt, h1, h2); ok {
-				if b := int(ts / uint64(time.Second)); b < seconds {
-					series[b]++
-				}
-			} else {
-				dropped++
-			}
+			net.DeliverBatch(pkts[b*pps:(b+1)*pps], h1, h2)
+			delivered, _ := net.Stats()
+			series[b] = delivered - prevDelivered
+			prevDelivered = delivered
 		}
-		return series, opDur, dropped
+		_, dropTotal := net.Stats()
+		return series, opDur, dropTotal - prevDropped
 	}
 
 	res.SonataSeries, res.SonataOutage, res.SonataDropped = run(true)

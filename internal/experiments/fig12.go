@@ -105,9 +105,7 @@ func measureNewtonReports(tr *trace.Trace, window uint64) int {
 			panic(err)
 		}
 	}
-	for _, pkt := range tr.Packets {
-		net.Deliver(pkt, h1, h2)
-	}
+	net.DeliverBatch(tr.Packets, h1, h2)
 	col := analyzer.NewCollector(window, query.Q1(1).ReportKeys())
 	col.AddAll(net.DrainReports())
 	return col.Raw

@@ -94,9 +94,7 @@ func measureShardedReports(tr *trace.Trace, hops int, window uint64) int {
 			panic(err)
 		}
 	}
-	for _, pkt := range tr.Packets {
-		net.Deliver(pkt, h1, h2)
-	}
+	net.DeliverBatch(tr.Packets, h1, h2)
 	col := analyzer.NewCollector(window, query.Q1(40).ReportKeys())
 	col.AddAll(net.DrainReports())
 	return col.Raw

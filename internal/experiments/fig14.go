@@ -107,9 +107,7 @@ func runQ1Sharded(tr *trace.Trace, q *query.Query, hops int, width uint32) map[u
 			panic(err)
 		}
 	}
-	for _, pkt := range tr.Packets {
-		net.Deliver(pkt, h1, h2)
-	}
+	net.DeliverBatch(tr.Packets, h1, h2)
 	col := analyzer.NewCollector(uint64(q.Window), q.ReportKeys())
 	col.AddAll(net.DrainReports())
 	return col.FlaggedKeys()

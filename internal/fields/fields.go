@@ -173,10 +173,16 @@ func Prefix(id ID, plen int) uint64 {
 // resulting operation keys.
 func (m Mask) Apply(v *Vector) Vector {
 	var out Vector
+	(&m).ApplyInto(v, &out)
+	return out
+}
+
+// ApplyInto masks v into out in place — the per-packet form of Apply,
+// avoiding two vector copies through the stack.
+func (m *Mask) ApplyInto(v, out *Vector) {
 	for id := ID(0); id < NumFields; id++ {
 		out[id] = v[id] & m[id]
 	}
-	return out
 }
 
 // Fields lists the IDs the mask keeps (any non-zero entry).
@@ -261,6 +267,13 @@ type PHV struct {
 	QueryID int
 	Step    int
 	Stopped bool
+
+	// KeyBuf is engine scratch for serializing operation keys into hash
+	// input. It lives on the PHV so the serialization buffer shares the
+	// execution context's heap allocation instead of escaping per packet
+	// (the CRC fast paths are assembly, which defeats stack allocation
+	// of the caller's buffer).
+	KeyBuf [8 * int(NumFields)]byte
 }
 
 // Reset clears everything except the parsed fields.

@@ -2,6 +2,7 @@ package modules
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/fields"
@@ -17,6 +18,8 @@ type Engine struct {
 	layout *Layout
 
 	installed map[progKey]*Program
+
+	dispatch dispatchCache
 }
 
 // progKey identifies an installed program: a switch may host several
@@ -34,12 +37,104 @@ func (e *Engine) Layout() *Layout { return e.layout }
 // Installed returns the installed program for qid (its first partition,
 // if partitioned), or nil.
 func (e *Engine) Installed(qid int) *Program {
-	for part := 0; part < 16; part++ {
-		if p, ok := e.installed[progKey{qid, part}]; ok {
-			return p
+	var best *Program
+	for key, p := range e.installed {
+		if key.qid != qid {
+			continue
+		}
+		if best == nil || key.part < best.Part {
+			best = p
 		}
 	}
-	return nil
+	return best
+}
+
+// maxDispatchEntries bounds the dispatch cache; overflowing flushes it
+// (a full rebuild costs one classifier scan per live flow).
+const maxDispatchEntries = 1 << 15
+
+// dispatchKey is the newton_init classifier input — the packet's
+// 5-tuple plus TCP flags — packed into two words (the fields' natural
+// widths sum to 112 bits), so the cache probe hashes 16 bytes instead
+// of 48.
+type dispatchKey [2]uint64
+
+// hashUnset marks a not-yet-recorded slot in a dispatch entry's hash
+// memo. Memoized hash results are at most 32 bits wide (hash engines
+// produce uint32, and direct-mode keys are drawn from ≤32-bit fields),
+// so the all-ones word can never be a real result.
+const hashUnset = ^uint64(0)
+
+// dispatchEntry is one memoized classification: the newton_init matches
+// for a classifier input, plus — for branches whose hash inputs are a
+// pure function of that input — the recorded per-flow hash results, so
+// steady-state packets of a flow skip key serialization and CRC/FNV
+// computation entirely. hashes[i] is nil when branch i is not
+// memoizable (impure or has no H ops); otherwise it has one slot per H
+// op, lazily filled the first time each op executes for this flow.
+type dispatchEntry struct {
+	matches []*dataplane.Rule
+	hashes  [][]uint64
+}
+
+// dispatchCache memoizes the newton_init LookupAll result per classifier
+// input. Entries are valid only while the classifier's rule-set version
+// is unchanged: every query install/remove bumps the table version,
+// invalidating the whole cache, so a cached chain can never outlive the
+// rules that produced it. Reads take a shared lock (no allocation);
+// misses recompute from the classifier's lock-free snapshot.
+//
+// The hash memo slices inside an entry are written without the lock:
+// a slice belongs to exactly one classifier key, and packet delivery
+// guarantees all packets of one flow are processed by one goroutine at
+// a time (netsim shards batches by flow, with barriers between
+// segments), so those writes are single-writer by construction.
+type dispatchCache struct {
+	mu      sync.RWMutex
+	version uint64
+	entries map[dispatchKey]*dispatchEntry
+}
+
+// lookup returns the cached entry for k at the given classifier version.
+func (c *dispatchCache) lookup(version uint64, k *dispatchKey) *dispatchEntry {
+	c.mu.RLock()
+	if c.version != version || c.entries == nil {
+		c.mu.RUnlock()
+		return nil
+	}
+	e := c.entries[*k]
+	c.mu.RUnlock()
+	return e
+}
+
+// lookupSeq and storeSeq are the lock-free forms for sequential
+// delivery: all cache mutation then happens on the calling goroutine,
+// and netsim separates sequential and parallel delivery phases with
+// barriers, so no lock is needed.
+func (c *dispatchCache) lookupSeq(version uint64, k *dispatchKey) *dispatchEntry {
+	if c.version != version || c.entries == nil {
+		return nil
+	}
+	return c.entries[*k]
+}
+
+func (c *dispatchCache) storeSeq(version uint64, k *dispatchKey, e *dispatchEntry) {
+	if c.version != version || c.entries == nil || len(c.entries) >= maxDispatchEntries {
+		c.entries = make(map[dispatchKey]*dispatchEntry)
+		c.version = version
+	}
+	c.entries[*k] = e
+}
+
+// store records the entry for k at the given classifier version.
+func (c *dispatchCache) store(version uint64, k *dispatchKey, e *dispatchEntry) {
+	c.mu.Lock()
+	if c.version != version || c.entries == nil || len(c.entries) >= maxDispatchEntries {
+		c.entries = make(map[dispatchKey]*dispatchEntry)
+		c.version = version
+	}
+	c.entries[*k] = e
+	c.mu.Unlock()
 }
 
 // InstalledCount returns how many programs are installed.
@@ -60,6 +155,9 @@ func (e *Engine) Install(p *Program) (err error) {
 			e.rollback(p)
 		}
 	}()
+	for _, b := range p.Branches {
+		prepareBranch(b)
+	}
 	// Pass 1: allocate registers for owning state banks.
 	for _, b := range p.Branches {
 		for _, op := range b.Ops {
@@ -138,6 +236,56 @@ func (e *Engine) Remove(qid int) error {
 	return nil
 }
 
+// pureKeyMask reports whether a key-selection mask keeps only fields of
+// the dispatch key (the newton_init classifier input). Operation keys
+// derived through such a mask — including prefix sub-keys — are a pure
+// function of the classifier input, so hashes over them are constant
+// per flow.
+func pureKeyMask(m *fields.Mask) bool {
+	for id := fields.ID(0); id < fields.NumFields; id++ {
+		if m[id] == 0 {
+			continue
+		}
+		switch id {
+		case fields.SrcIP, fields.DstIP, fields.Proto,
+			fields.SrcPort, fields.DstPort, fields.TCPFlags:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// prepareBranch assigns each H op its memo ordinal and decides whether
+// the branch's hash results may be memoized per flow. An H result is
+// flow-pure only when a K op earlier in the same chain (same metadata
+// set) has established the operation keys — so the H never reads keys
+// left behind by another branch, whose execution prefix can vary with
+// register state — and every such K mask keeps only dispatch-key
+// fields.
+func prepareBranch(b *BranchProgram) {
+	b.numH = 0
+	b.hashPure = true
+	var seenK, pureK [2]bool
+	pureK[0], pureK[1] = true, true
+	for _, op := range b.Ops {
+		set := op.Set & 1
+		switch op.Kind {
+		case ModK:
+			seenK[set] = true
+			if op.K == nil || !pureKeyMask(&op.K.Mask) {
+				pureK[set] = false
+			}
+		case ModH:
+			op.hIdx = b.numH
+			b.numH++
+			if !seenK[set] || !pureK[set] {
+				b.hashPure = false
+			}
+		}
+	}
+}
+
 // findRow0 locates the last reduce-row-0 state bank of a branch.
 func (e *Engine) findRow0(p *Program, branch int) *SConfig {
 	if branch < 0 || branch >= len(p.Branches) {
@@ -190,6 +338,12 @@ func (finAction) ActionName() string { return "snapshot" }
 // snapshot, classify via newton_init, run every matching branch chain
 // (partitioned programs run only at their partition cursor), and decide
 // the outbound snapshot.
+//
+// Classification goes through the dispatch cache: newton_init's
+// LookupAll result is memoized per classifier input and invalidated
+// whenever the classifier's rule set changes, so the steady-state
+// per-packet path does one map probe instead of a ternary scan — and
+// allocates nothing.
 func (e *Engine) Execute(ctx *dataplane.Context) {
 	curPart := 0
 	if sp := ctx.Pkt.SP; sp != nil {
@@ -197,12 +351,47 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 		curPart = int(sp.Part)
 	}
 	v := &ctx.PHV.Fields
-	matches := e.layout.Init.LookupAll(
-		v.Get(fields.SrcIP), v.Get(fields.DstIP), v.Get(fields.Proto),
-		v.Get(fields.SrcPort), v.Get(fields.DstPort), v.Get(fields.TCPFlags))
+	key := dispatchKey{
+		v.Get(fields.SrcIP)<<32 | v.Get(fields.DstIP),
+		v.Get(fields.SrcPort)<<32 | v.Get(fields.DstPort)<<16 |
+			v.Get(fields.Proto)<<8 | v.Get(fields.TCPFlags)}
+	version := e.layout.Init.Version()
+	seq := ctx.Sequential()
+	var entry *dispatchEntry
+	if seq {
+		entry = e.dispatch.lookupSeq(version, &key)
+	} else {
+		entry = e.dispatch.lookup(version, &key)
+	}
+	if entry == nil {
+		vals := [6]uint64{
+			v.Get(fields.SrcIP), v.Get(fields.DstIP), v.Get(fields.Proto),
+			v.Get(fields.SrcPort), v.Get(fields.DstPort), v.Get(fields.TCPFlags)}
+		matches := e.layout.Init.LookupAllAppend(nil, vals[:])
+		entry = &dispatchEntry{matches: matches}
+		if len(matches) > 0 {
+			entry.hashes = make([][]uint64, len(matches))
+			for i, m := range matches {
+				ca, ok := m.Action.(chainAction)
+				if !ok || !ca.branch.hashPure || ca.branch.numH == 0 {
+					continue
+				}
+				hs := make([]uint64, ca.branch.numH)
+				for j := range hs {
+					hs[j] = hashUnset
+				}
+				entry.hashes[i] = hs
+			}
+		}
+		if seq {
+			e.dispatch.storeSeq(version, &key, entry)
+		} else {
+			e.dispatch.store(version, &key, entry)
+		}
+	}
 	var ranPart *Program
 	stopped := false
-	for _, m := range matches {
+	for i, m := range entry.matches {
 		ca, ok := m.Action.(chainAction)
 		if !ok {
 			continue
@@ -217,7 +406,7 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 			ranPart = ca.prog
 		}
 		ctx.PHV.QueryID = ca.prog.QID
-		e.runBranch(ctx, ca.branch)
+		e.runBranch(ctx, ca.branch, entry.hashes[i])
 		if ca.prog == ranPart {
 			stopped = ctx.PHV.Stopped
 		}
@@ -236,8 +425,11 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 // metadata sets may arrive pre-seeded from a result-snapshot header
 // (cross-switch execution); chains always run front to back in stage
 // order, which the composition algorithm guarantees is dependency-safe.
-func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram) {
+// hashes, when non-nil, is the flow's memoized hash results (one slot
+// per H op, hashUnset until first recorded); see dispatchEntry.
+func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram, hashes []uint64) {
 	phv := &ctx.PHV
+	seq := ctx.Sequential()
 	phv.Stopped = false
 	for _, op := range b.Ops {
 		if phv.Stopped {
@@ -247,24 +439,32 @@ func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram) {
 		switch op.Kind {
 		case ModK:
 			set.OpKeyMask = op.K.Mask
-			set.OpKeys = op.K.Mask.Apply(&phv.Fields)
+			op.K.Mask.ApplyInto(&phv.Fields, &set.OpKeys)
 		case ModH:
-			e.execH(op.H, set)
+			if hashes != nil {
+				if h := hashes[op.hIdx]; h != hashUnset {
+					set.HashResult = h
+				} else {
+					e.execH(op.H, set, phv)
+					hashes[op.hIdx] = set.HashResult
+				}
+			} else {
+				e.execH(op.H, set, phv)
+			}
 		case ModS:
-			e.execS(op.S, set, phv)
+			e.execS(op.S, set, phv, seq)
 		case ModR:
 			e.execR(ctx, op.R, set, phv)
 		}
 	}
 }
 
-func (e *Engine) execH(h *HConfig, set *fields.MetadataSet) {
+func (e *Engine) execH(h *HConfig, set *fields.MetadataSet, phv *fields.PHV) {
 	if h.Direct != NoField {
 		set.HashResult = set.OpKeys.Get(h.Direct)
 		return
 	}
-	var buf [8 * int(fields.NumFields)]byte
-	key := set.OpKeyMask.Bytes(&set.OpKeys, buf[:0])
+	key := set.OpKeyMask.Bytes(&set.OpKeys, phv.KeyBuf[:0])
 	raw := h.Algo.Sum(key, h.Seed)
 	if h.Range > 0 {
 		set.HashResult = uint64(sketch.Fold(raw, h.Range))
@@ -276,18 +476,17 @@ func (e *Engine) execH(h *HConfig, set *fields.MetadataSet) {
 // ownerOf computes the key-sharding owner of the operation keys: a hash
 // independent of the row hashes so every row of a multi-array sketch
 // agrees on the owner.
-func ownerOf(set *fields.MetadataSet, count uint32) uint32 {
-	var buf [8 * int(fields.NumFields)]byte
-	key := set.OpKeyMask.Bytes(&set.OpKeys, buf[:0])
+func ownerOf(set *fields.MetadataSet, count uint32, phv *fields.PHV) uint32 {
+	key := set.OpKeyMask.Bytes(&set.OpKeys, phv.KeyBuf[:0])
 	return sketch.FNV1a.Sum(key, 0xBEEF) % count
 }
 
-func (e *Engine) execS(s *SConfig, set *fields.MetadataSet, phv *fields.PHV) {
+func (e *Engine) execS(s *SConfig, set *fields.MetadataSet, phv *fields.PHV, seq bool) {
 	if s.PassThrough {
 		set.StateResult = set.HashResult
 		return
 	}
-	if s.OwnerCount > 1 && ownerOf(set, s.OwnerCount) != s.OwnerIndex {
+	if s.OwnerCount > 1 && ownerOf(set, s.OwnerCount, phv) != s.OwnerIndex {
 		// Key-sharded cross-switch execution: another switch on the path
 		// owns this key's state; this switch's monitoring of the packet
 		// ends here and the owner reports instead.
@@ -307,7 +506,11 @@ func (e *Engine) execS(s *SConfig, set *fields.MetadataSet, phv *fields.PHV) {
 	case OperandHash:
 		operand = uint32(set.HashResult)
 	}
-	set.StateResult = uint64(s.array.Exec(s.ALU, idx, operand))
+	if seq {
+		set.StateResult = uint64(s.array.ExecSeq(s.ALU, idx, operand))
+	} else {
+		set.StateResult = uint64(s.array.Exec(s.ALU, idx, operand))
+	}
 }
 
 func (e *Engine) execR(ctx *dataplane.Context, r *RConfig, set *fields.MetadataSet, phv *fields.PHV) {

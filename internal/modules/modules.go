@@ -171,6 +171,7 @@ type Op struct {
 	R *RConfig
 
 	ruleID int // rule installed in the module's table
+	hIdx   int // ordinal of this H op within its branch (hash memoization)
 }
 
 // String renders the op for composition dumps, e.g. "K0@s1".
@@ -204,6 +205,13 @@ type BranchProgram struct {
 	Ops  []*Op
 
 	initRuleID int
+
+	// numH and hashPure are computed at install time: the number of H
+	// ops in the chain, and whether every H input is a function of the
+	// dispatch-key fields alone (so its result can be memoized per
+	// flow). See Engine.prepareBranch.
+	numH     int
+	hashPure bool
 }
 
 // Program is a fully compiled query ready to install: one entry and op

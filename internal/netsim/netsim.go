@@ -8,7 +8,9 @@ package netsim
 
 import (
 	"fmt"
-	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/newton-net/newton/internal/dataplane"
@@ -57,6 +59,11 @@ type Network struct {
 
 	nodes map[int]*Node
 
+	// nodesByID is the dense form of nodes (topology IDs are small
+	// sequential ints): the per-hop switch lookup of the packet path is
+	// an indexed load instead of a map probe.
+	nodesByID []*Node
+
 	clock     uint64
 	nextEpoch uint64
 
@@ -70,6 +77,16 @@ type Network struct {
 	// from the snapshot (§5.2); see analyzer.DeferredTail. The hook runs
 	// before the snapshot is stripped.
 	Deferred func(pkt *packet.Packet)
+
+	// deferredMu serializes Deferred calls from batch workers.
+	deferredMu sync.Mutex
+
+	// batchReports accumulates the merged per-worker report buffers of
+	// DeliverBatch until DrainReports.
+	batchReports []dataplane.Report
+
+	// shards are the reusable per-worker packet buffers of DeliverBatch.
+	shards [][]*packet.Packet
 }
 
 // New builds a network with a Newton switch per topology switch node.
@@ -92,7 +109,14 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 			return nil, err
 		}
 		dp.Monitor = eng
-		n.nodes[id] = &Node{ID: id, DP: dp, Layout: layout, Eng: eng}
+		node := &Node{ID: id, DP: dp, Layout: layout, Eng: eng}
+		n.nodes[id] = node
+		if id >= len(n.nodesByID) {
+			grown := make([]*Node, id+1)
+			copy(grown, n.nodesByID)
+			n.nodesByID = grown
+		}
+		n.nodesByID[id] = node
 	}
 	return n, nil
 }
@@ -107,18 +131,25 @@ func (n *Network) Nodes() map[int]*Node { return n.nodes }
 func (n *Network) Clock() uint64 { return n.clock }
 
 // AdvanceTo moves the virtual clock forward, rolling register windows at
-// each boundary it crosses.
+// each boundary it crosses. The roll loop lives in its own method so
+// AdvanceTo itself inlines into the per-packet delivery path.
 func (n *Network) AdvanceTo(ts uint64) {
 	if ts < n.clock {
 		return
 	}
+	if ts >= n.nextEpoch {
+		n.rollEpochs(ts)
+	}
+	n.clock = ts
+}
+
+func (n *Network) rollEpochs(ts uint64) {
 	for ts >= n.nextEpoch {
 		for _, node := range n.nodes {
 			node.Layout.Pipeline().NextEpoch()
 		}
 		n.nextEpoch += uint64(n.Cfg.Window)
 	}
-	n.clock = ts
 }
 
 // SetOutage takes a switch down for [from, until) of virtual time — the
@@ -129,22 +160,37 @@ func (n *Network) SetOutage(sw int, from, until uint64) {
 }
 
 func (n *Network) inOutage(sw int) bool {
-	to, ok := n.outageTo[sw]
-	return ok && n.clock >= n.outageFrom[sw] && n.clock < to
+	return n.inOutageAt(sw, n.clock)
 }
 
-// flowSeed derives the ECMP seed from the packet's 5-tuple.
+// inOutageAt checks an outage against an explicit timestamp — the batch
+// path evaluates outages per packet without moving the shared clock.
+func (n *Network) inOutageAt(sw int, ts uint64) bool {
+	to, ok := n.outageTo[sw]
+	return ok && ts >= n.outageFrom[sw] && ts < to
+}
+
+// flowSeed derives the ECMP seed from the packet's 5-tuple. It is
+// FNV-64a over the 13-byte key — computed inline so the per-packet path
+// does not allocate a hash object.
 func flowSeed(p *packet.Packet) uint64 {
-	h := fnv.New64a()
 	k := p.Flow()
-	var b [13]byte
-	b[0], b[1], b[2], b[3] = byte(k.Src>>24), byte(k.Src>>16), byte(k.Src>>8), byte(k.Src)
-	b[4], b[5], b[6], b[7] = byte(k.Dst>>24), byte(k.Dst>>16), byte(k.Dst>>8), byte(k.Dst)
-	b[8], b[9] = byte(k.SPort>>8), byte(k.SPort)
-	b[10], b[11] = byte(k.DPort>>8), byte(k.DPort)
-	b[12] = k.Proto
-	h.Write(b[:])
-	return h.Sum64()
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(k.Src>>24)) * prime64
+	h = (h ^ uint64(k.Src>>16)&0xFF) * prime64
+	h = (h ^ uint64(k.Src>>8)&0xFF) * prime64
+	h = (h ^ uint64(k.Src)&0xFF) * prime64
+	h = (h ^ uint64(k.Dst>>24)) * prime64
+	h = (h ^ uint64(k.Dst>>16)&0xFF) * prime64
+	h = (h ^ uint64(k.Dst>>8)&0xFF) * prime64
+	h = (h ^ uint64(k.Dst)&0xFF) * prime64
+	h = (h ^ uint64(k.SPort>>8)) * prime64
+	h = (h ^ uint64(k.SPort)&0xFF) * prime64
+	h = (h ^ uint64(k.DPort>>8)) * prime64
+	h = (h ^ uint64(k.DPort)&0xFF) * prime64
+	h = (h ^ uint64(k.Proto)) * prime64
+	return h
 }
 
 // Deliver routes one packet from srcHost to dstHost along its ECMP path
@@ -154,7 +200,7 @@ func flowSeed(p *packet.Packet) uint64 {
 func (n *Network) Deliver(pkt *packet.Packet, srcHost, dstHost int) ([]int, bool) {
 	path := n.Topo.Path(srcHost, dstHost, flowSeed(pkt))
 	if path == nil {
-		n.dropped++
+		atomic.AddUint64(&n.dropped, 1)
 		return nil, false
 	}
 	sw := n.Topo.SwitchPath(path)
@@ -165,19 +211,36 @@ func (n *Network) Deliver(pkt *packet.Packet, srcHost, dstHost int) ([]int, bool
 // DeliverPath processes a packet along an explicit switch path.
 func (n *Network) DeliverPath(pkt *packet.Packet, switches []int) bool {
 	n.AdvanceTo(pkt.TS)
+	return n.deliverOn(pkt, switches, nil)
+}
+
+// deliverOn walks a packet along a switch path without touching the
+// shared clock. ctx, when non-nil, is the caller-owned (batch worker)
+// execution context; nil uses each switch's sequential context.
+func (n *Network) deliverOn(pkt *packet.Packet, switches []int, ctx *dataplane.Context) bool {
+	seq := ctx == nil
 	pkt.SP = nil // hosts never send result snapshots
 	for _, id := range switches {
-		node, ok := n.nodes[id]
-		if !ok {
-			n.dropped++
+		var node *Node
+		if id >= 0 && id < len(n.nodesByID) {
+			node = n.nodesByID[id]
+		}
+		if node == nil {
+			n.drop(seq)
 			return false
 		}
-		if n.inOutage(id) {
-			n.dropped++
+		if len(n.outageTo) != 0 && n.inOutageAt(id, pkt.TS) {
+			n.drop(seq)
 			return false
 		}
-		if _, forwarded := node.DP.Process(pkt); !forwarded {
-			n.dropped++
+		var forwarded bool
+		if ctx != nil {
+			_, forwarded = node.DP.ProcessCtx(pkt, ctx)
+		} else {
+			_, forwarded = node.DP.Process(pkt)
+		}
+		if !forwarded {
+			n.drop(seq)
 			return false
 		}
 	}
@@ -187,17 +250,150 @@ func (n *Network) DeliverPath(pkt *packet.Packet, switches []int) bool {
 		// — §5.2's fallback hands the execution status to the software
 		// analyzer before the header is removed.
 		if n.Deferred != nil {
+			n.deferredMu.Lock()
 			n.Deferred(pkt)
+			n.deferredMu.Unlock()
 		}
 		pkt.SP = nil
 	}
-	n.delivered++
+	if seq {
+		n.delivered++
+	} else {
+		atomic.AddUint64(&n.delivered, 1)
+	}
 	return true
 }
 
-// DrainReports collects and clears mirrored reports from every switch.
+// drop counts a dropped packet; the sequential (single-goroutine) path
+// skips the atomic update.
+func (n *Network) drop(seq bool) {
+	if seq {
+		n.dropped++
+	} else {
+		atomic.AddUint64(&n.dropped, 1)
+	}
+}
+
+// minParallelSegment is the segment size below which DeliverBatch stays
+// sequential (goroutine fan-out would cost more than it saves).
+const minParallelSegment = 64
+
+// DeliverBatch delivers a time-ordered packet batch from srcHost to
+// dstHost, parallelized across flows. Packets are sharded by flow key
+// over up to GOMAXPROCS workers, so packets of one flow stay in order
+// on one worker while distinct flows proceed concurrently. Each worker
+// mirrors reports into its own buffer (merged into DrainReports's
+// output), and the batch is split at query-window boundaries: all
+// packets of a window are processed, the workers join at a barrier, the
+// register epochs roll, and the next window begins — exactly the epoch
+// discipline of sequential delivery.
+//
+// Switch state stays exact under parallelism: tables are read through
+// immutable copy-on-write snapshots and every register ALU transaction
+// is a linearizable compare-and-swap, so windowed counts, delivery
+// counters, and report volumes match sequential delivery. Query
+// installs/removals must not run concurrently with a batch.
+func (n *Network) DeliverBatch(pkts []*packet.Packet, srcHost, dstHost int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	start := 0
+	for start < len(pkts) {
+		// Extend the segment until a packet crosses the next window
+		// boundary; that packet starts the next segment after the rolls.
+		end := start
+		for end < len(pkts) && pkts[end].TS < n.nextEpoch {
+			end++
+		}
+		if end == start {
+			n.AdvanceTo(pkts[start].TS) // rolls every boundary crossed
+			continue
+		}
+		n.deliverSegment(pkts[start:end], srcHost, dstHost, workers)
+		if ts := pkts[end-1].TS; ts > n.clock {
+			n.clock = ts
+		}
+		start = end
+	}
+}
+
+// deliverSegment processes one window's worth of packets across workers.
+func (n *Network) deliverSegment(pkts []*packet.Packet, srcHost, dstHost, workers int) {
+	if workers == 1 || len(pkts) < minParallelSegment {
+		cache := map[uint64]cachedPath{}
+		for _, pkt := range pkts {
+			n.deliverCached(pkt, srcHost, dstHost, nil, cache)
+		}
+		return
+	}
+
+	// Shard by flow key: one worker owns all packets of a flow.
+	if len(n.shards) < workers {
+		n.shards = make([][]*packet.Packet, workers)
+	}
+	shards := n.shards[:workers]
+	for w := range shards {
+		shards[w] = shards[w][:0]
+	}
+	for _, pkt := range pkts {
+		w := int(flowSeed(pkt) % uint64(workers))
+		shards[w] = append(shards[w], pkt)
+	}
+
+	var wg sync.WaitGroup
+	sinks := make([][]dataplane.Report, workers)
+	for w := 0; w < workers; w++ {
+		if len(shards[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := dataplane.NewBatchContext(&sinks[w])
+			cache := map[uint64]cachedPath{}
+			for _, pkt := range shards[w] {
+				n.deliverCached(pkt, srcHost, dstHost, ctx, cache)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, sink := range sinks {
+		n.batchReports = append(n.batchReports, sink...)
+	}
+}
+
+// cachedPath is one resolved ECMP path; ok is false when the topology
+// has no route for the flow.
+type cachedPath struct {
+	sw []int
+	ok bool
+}
+
+// deliverCached delivers one packet, resolving its ECMP switch path
+// through a per-caller cache keyed by flow seed (the seed fully
+// determines the path for fixed endpoints).
+func (n *Network) deliverCached(pkt *packet.Packet, srcHost, dstHost int, ctx *dataplane.Context, cache map[uint64]cachedPath) {
+	seed := flowSeed(pkt)
+	cp, hit := cache[seed]
+	if !hit {
+		if path := n.Topo.Path(srcHost, dstHost, seed); path != nil {
+			cp = cachedPath{sw: n.Topo.SwitchPath(path), ok: true}
+		}
+		cache[seed] = cp
+	}
+	if !cp.ok {
+		atomic.AddUint64(&n.dropped, 1)
+		return
+	}
+	n.deliverOn(pkt, cp.sw, ctx)
+}
+
+// DrainReports collects and clears mirrored reports from every switch
+// and from completed batches.
 func (n *Network) DrainReports() []dataplane.Report {
-	var out []dataplane.Report
+	out := n.batchReports
+	n.batchReports = nil
 	for _, node := range n.nodes {
 		out = append(out, node.DP.DrainReports()...)
 	}
@@ -206,8 +402,11 @@ func (n *Network) DrainReports() []dataplane.Report {
 
 // Stats returns network-wide delivery counters.
 func (n *Network) Stats() (delivered, dropped uint64) {
-	return n.delivered, n.dropped
+	return atomic.LoadUint64(&n.delivered), atomic.LoadUint64(&n.dropped)
 }
 
 // ResetStats zeroes the delivery counters (between experiment phases).
-func (n *Network) ResetStats() { n.delivered, n.dropped = 0, 0 }
+func (n *Network) ResetStats() {
+	atomic.StoreUint64(&n.delivered, 0)
+	atomic.StoreUint64(&n.dropped, 0)
+}

@@ -174,24 +174,40 @@ func (p *Packet) Flow() FlowKey {
 // consume. This is the parser's contribution to the PHV.
 func (p *Packet) Fields() fields.Vector {
 	var v fields.Vector
-	v.Set(fields.Timestamp, p.TS&fields.Timestamp.MaxValue())
-	v.Set(fields.InPort, uint64(p.InPort)&fields.InPort.MaxValue())
-	v.Set(fields.SrcIP, uint64(p.IP.Src))
-	v.Set(fields.DstIP, uint64(p.IP.Dst))
-	v.Set(fields.Proto, uint64(p.IP.Proto))
-	v.Set(fields.TTL, uint64(p.IP.TTL))
-	v.Set(fields.PktLen, uint64(p.Len()))
-	if p.TCP != nil {
-		v.Set(fields.SrcPort, uint64(p.TCP.SrcPort))
-		v.Set(fields.DstPort, uint64(p.TCP.DstPort))
-		v.Set(fields.TCPFlags, uint64(p.TCP.Flags))
-		v.Set(fields.TCPSeq, uint64(p.TCP.Seq))
-		v.Set(fields.TCPAck, uint64(p.TCP.Ack))
-	} else if p.UDP != nil {
-		v.Set(fields.SrcPort, uint64(p.UDP.SrcPort))
-		v.Set(fields.DstPort, uint64(p.UDP.DstPort))
-	}
+	p.FieldsInto(&v)
 	return v
+}
+
+// FieldsInto writes the global header-field vector directly into v,
+// avoiding the copy of the by-value form on the per-packet path. All
+// entries of v are (re)assigned; width masks are folded to constants so
+// the whole extraction is straight-line stores.
+func (p *Packet) FieldsInto(v *fields.Vector) {
+	const (
+		tsMask     = (uint64(1) << 48) - 1 // Timestamp natural width
+		inPortMask = (uint64(1) << 9) - 1  // InPort natural width
+	)
+	v[fields.Timestamp] = p.TS & tsMask
+	v[fields.InPort] = uint64(p.InPort) & inPortMask
+	v[fields.SrcIP] = uint64(p.IP.Src)
+	v[fields.DstIP] = uint64(p.IP.Dst)
+	v[fields.Proto] = uint64(p.IP.Proto)
+	v[fields.TTL] = uint64(p.IP.TTL)
+	v[fields.PktLen] = uint64(p.Len())
+	if p.TCP != nil {
+		v[fields.SrcPort] = uint64(p.TCP.SrcPort)
+		v[fields.DstPort] = uint64(p.TCP.DstPort)
+		v[fields.TCPFlags] = uint64(p.TCP.Flags)
+		v[fields.TCPSeq] = uint64(p.TCP.Seq)
+		v[fields.TCPAck] = uint64(p.TCP.Ack)
+	} else if p.UDP != nil {
+		v[fields.SrcPort] = uint64(p.UDP.SrcPort)
+		v[fields.DstPort] = uint64(p.UDP.DstPort)
+		v[fields.TCPFlags], v[fields.TCPSeq], v[fields.TCPAck] = 0, 0, 0
+	} else {
+		v[fields.SrcPort], v[fields.DstPort] = 0, 0
+		v[fields.TCPFlags], v[fields.TCPSeq], v[fields.TCPAck] = 0, 0, 0
+	}
 }
 
 // Serialize encodes the packet to wire bytes, computing the IPv4 header

@@ -8,7 +8,6 @@ package sketch
 import (
 	"fmt"
 	"hash/crc32"
-	"hash/fnv"
 )
 
 // Algo selects one of the hash algorithms a Tofino-style hash engine
@@ -62,12 +61,22 @@ func (a Algo) Sum(data []byte, seed uint32) uint32 {
 	case CRC32Koopman:
 		return fmix32(crc32.Checksum(data, koopmanTable) ^ seed)
 	case FNV1a:
-		var pre [4]byte
-		pre[0], pre[1], pre[2], pre[3] = byte(seed>>24), byte(seed>>16), byte(seed>>8), byte(seed)
-		h := fnv.New32a()
-		h.Write(pre[:])
-		h.Write(data)
-		return h.Sum32()
+		// Inline FNV-1a over seed||data: identical to hash/fnv on the
+		// same bytes, but without the heap-allocated hash.Hash32 that
+		// made every per-packet hash an allocation.
+		const (
+			offset32 = 2166136261
+			prime32  = 16777619
+		)
+		h := uint32(offset32)
+		h = (h ^ uint32(seed>>24)) * prime32
+		h = (h ^ uint32(seed>>16)&0xFF) * prime32
+		h = (h ^ uint32(seed>>8)&0xFF) * prime32
+		h = (h ^ seed&0xFF) * prime32
+		for _, b := range data {
+			h = (h ^ uint32(b)) * prime32
+		}
+		return h
 	case Identity:
 		var v uint32
 		for _, b := range data {
