@@ -3,9 +3,16 @@
 // pipeline, and serves the control channel so a remote controller can
 // install, remove, and drain queries over TCP.
 //
+// With -analyzer, the agent additionally opens a streaming telemetry
+// connection and pushes mirrored reports (batched, through a bounded
+// ring with the chosen overflow policy) and epoch-boundary state-bank
+// snapshots to a newton-analyzer process, instead of waiting to be
+// polled.
+//
 // Usage:
 //
 //	newton-agent -listen 127.0.0.1:9441 -pcap trace.pcap -loop 3
+//	newton-agent -listen 127.0.0.1:9441 -analyzer 127.0.0.1:9500 -pcap trace.pcap
 //
 // Then, from another process, dial 127.0.0.1:9441 with internal/rpc (or
 // drive it from tests) to deploy queries while traffic flows.
@@ -22,6 +29,7 @@ import (
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/modules"
 	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/telemetry"
 	"github.com/newton-net/newton/internal/trace"
 )
 
@@ -35,6 +43,11 @@ func main() {
 		loop      = flag.Int("loop", 1, "times to replay the pcap")
 		window    = flag.Duration("window", 100*time.Millisecond, "evaluation window (register epoch)")
 		gap       = flag.Duration("gap", 0, "real-time pause between replay loops")
+
+		analyzer  = flag.String("analyzer", "", "analyzer telemetry address ('' = poll-only draining)")
+		policy    = flag.String("export-policy", "block", "export overflow policy: block | drop-oldest")
+		ringSize  = flag.Int("export-ring", 4096, "export ring capacity in reports")
+		batchSize = flag.Int("export-batch", 256, "max reports per telemetry frame")
 	)
 	flag.Parse()
 
@@ -55,11 +68,58 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "newton-agent: %s serving control channel on %s\n", *name, ln.Addr())
 	agent := rpc.NewAgent(sw, eng)
+	agent.OnError = func(err error) {
+		fmt.Fprintf(os.Stderr, "newton-agent: control channel: %v\n", err)
+	}
+
+	var exp *telemetry.Exporter
+	if *analyzer != "" {
+		pol := telemetry.PolicyBlock
+		switch *policy {
+		case "block":
+		case "drop-oldest":
+			pol = telemetry.PolicyDropOldest
+		default:
+			log.Fatalf("newton-agent: unknown -export-policy %q", *policy)
+		}
+		exp, err = telemetry.Dial(*analyzer, telemetry.ExporterConfig{
+			SwitchID:  *name,
+			RingSize:  *ringSize,
+			BatchSize: *batchSize,
+			Policy:    pol,
+		})
+		if err != nil {
+			log.Fatalf("newton-agent: %v", err)
+		}
+		defer exp.Close()
+		// Controller epoch ticks snapshot-and-push the ending window's
+		// banks; export_stats becomes answerable on the control channel.
+		exp.AttachAgent(agent, eng)
+		fmt.Fprintf(os.Stderr, "newton-agent: streaming telemetry to %s (policy=%s)\n", *analyzer, pol)
+	}
+
 	go func() {
 		if err := agent.Serve(ln); err != nil {
 			log.Fatalf("newton-agent: %v", err)
 		}
 	}()
+
+	// push drains the switch's mirrored reports into the telemetry
+	// stream (no-op when no analyzer is attached: the controller polls).
+	push := func() {
+		if exp != nil {
+			exp.Export(sw.DrainReports())
+		}
+	}
+	// roll exports the ending epoch's state banks, then rolls the window.
+	roll := func() {
+		if exp != nil {
+			if err := exp.ExportEpoch(eng); err != nil {
+				fmt.Fprintf(os.Stderr, "newton-agent: %v\n", err)
+			}
+		}
+		layout.Pipeline().NextEpoch()
+	}
 
 	if *pcapPath == "" {
 		select {} // control plane only; serve until killed
@@ -82,18 +142,29 @@ func main() {
 		nextEpoch := uint64(*window)
 		for _, pkt := range pkts {
 			for pkt.TS >= nextEpoch {
-				layout.Pipeline().NextEpoch()
+				push()
+				roll()
 				nextEpoch += uint64(*window)
 			}
 			sw.Process(pkt)
 		}
-		layout.Pipeline().NextEpoch()
+		push()
+		roll()
 		c := sw.Counters()
 		fmt.Fprintf(os.Stderr, "newton-agent: loop %d/%d done (rx=%d tx=%d dropped=%d, %d reports pending)\n",
 			l+1, *loop, c.Rx, c.Tx, c.Dropped, sw.PendingReports())
 		if *gap > 0 {
 			time.Sleep(*gap)
 		}
+	}
+	if exp != nil {
+		if err := exp.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "newton-agent: flush: %v\n", err)
+		}
+		st := exp.Stats()
+		fmt.Fprintf(os.Stderr,
+			"newton-agent: telemetry: %d/%d reports exported in %d batches, %d dropped, %d snapshots\n",
+			st.Exported, st.Enqueued, st.Batches, st.Dropped, st.Snapshots)
 	}
 	// Keep serving so the controller can drain the final reports.
 	fmt.Fprintln(os.Stderr, "newton-agent: replay complete; control channel stays up (ctrl-c to exit)")

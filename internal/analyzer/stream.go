@@ -1,0 +1,31 @@
+package analyzer
+
+import (
+	"github.com/newton-net/newton/internal/telemetry"
+)
+
+// ConsumeEvents feeds a Collector from a telemetry-service
+// subscription: every network-wide-deduplicated alert event becomes one
+// collector ingest, so the same per-window flagged-key accounting the
+// experiments use works unchanged over the push-based merged stream. It
+// blocks until the channel closes (the service shut down or the
+// subscription was cancelled) and returns how many alerts it consumed.
+func ConsumeEvents(c *Collector, events <-chan telemetry.Event) int {
+	n := 0
+	for ev := range events {
+		if ev.Kind != telemetry.EventAlert {
+			continue
+		}
+		c.Add(ev.Report)
+		n++
+	}
+	return n
+}
+
+// Consume launches ConsumeEvents in the background and returns a done
+// channel that yields the consumed-alert count when the stream ends.
+func Consume(c *Collector, events <-chan telemetry.Event) <-chan int {
+	done := make(chan int, 1)
+	go func() { done <- ConsumeEvents(c, events) }()
+	return done
+}

@@ -3,12 +3,14 @@ package controller
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/newton-net/newton/internal/compiler"
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/query"
 	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/telemetry"
 )
 
 // Remote is the Newton controller speaking to switch agents over the
@@ -21,6 +23,11 @@ type Remote struct {
 
 	nextQID     int
 	deployments map[int][]string // qid -> agent names
+
+	// svc, when attached, replaces per-agent report polling: agents push
+	// reports to the analyzer service and Collect drains the merged,
+	// network-wide-deduplicated stream instead.
+	svc *telemetry.Service
 }
 
 // NewRemote builds a controller over named agent connections.
@@ -105,8 +112,69 @@ func (r *Remote) Tick() error {
 	return nil
 }
 
-// Collect drains reports from every agent.
+// AttachTelemetry switches the controller's report path from polling to
+// push: agents stream reports and epoch snapshots to svc, and Collect
+// drains svc's deduplicated alert stream instead of round-robin polling
+// every agent. Install/Remove/Tick keep using the control channel.
+func (r *Remote) AttachTelemetry(svc *telemetry.Service) { r.svc = svc }
+
+// InstallSharded compiles q once per agent with key sharding (§5.1):
+// agent i owns keys whose owner hash ≡ i mod len(names), so the agents
+// partition the key space and the analyzer's merged banks reconstruct
+// the network-wide view. Names nil shards across all agents (in sorted
+// order, so shard indices are deterministic).
+func (r *Remote) InstallSharded(q *query.Query, width uint32, names []string) (int, time.Duration, error) {
+	if len(names) == 0 {
+		for n := range r.agents {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	qid := r.nextQID
+	var done []string
+	undo := func() {
+		for _, n := range done {
+			_ = r.agents[n].Remove(qid)
+		}
+	}
+	maxRules := 0
+	for i, n := range names {
+		c, ok := r.agents[n]
+		if !ok {
+			undo()
+			return 0, 0, fmt.Errorf("controller: no agent %q", n)
+		}
+		o := compiler.AllOpts()
+		o.QID = qid
+		o.Width = width
+		o.ShardIndex, o.ShardCount = uint32(i), uint32(len(names))
+		p, err := compiler.Compile(q, o)
+		if err != nil {
+			undo()
+			return 0, 0, err
+		}
+		if err := c.Install(p); err != nil {
+			undo()
+			return 0, 0, fmt.Errorf("controller: agent %q: %w", n, err)
+		}
+		done = append(done, n)
+		if rules := p.RuleCount() + 1; rules > maxRules {
+			maxRules = rules
+		}
+	}
+	r.nextQID++
+	r.deployments[qid] = done
+	f := 0.9 + 0.2*r.rng.Float64()
+	delay := time.Duration(float64(installBase+time.Duration(maxRules)*installPerRule) * f)
+	return qid, delay, nil
+}
+
+// Collect returns new reports: the merged push-based stream when a
+// telemetry service is attached, otherwise a poll over every agent.
 func (r *Remote) Collect() ([]dataplane.Report, error) {
+	if r.svc != nil {
+		return r.svc.DrainReports(), nil
+	}
 	var out []dataplane.Report
 	for n, c := range r.agents {
 		rs, err := c.DrainReports()

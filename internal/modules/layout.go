@@ -173,6 +173,19 @@ func NewLayout(kind LayoutKind, stages int, arraySize uint32) (*Layout, error) {
 // Stages returns the number of physical stages.
 func (l *Layout) Stages() int { return len(l.suites) }
 
+// Epoch returns the current window epoch of the layout's state banks
+// (they all roll together via Pipeline.NextEpoch).
+func (l *Layout) Epoch() uint32 {
+	for _, ss := range l.suites {
+		for _, s := range ss {
+			if s.array != nil {
+				return s.array.Epoch()
+			}
+		}
+	}
+	return 0
+}
+
 // Pipeline exposes the underlying pipeline (for resource reports and
 // epoch advancement).
 func (l *Layout) Pipeline() *dataplane.Pipeline { return l.pipeline }

@@ -4,6 +4,12 @@
 // report drains over TCP as length-framed JSON messages, using only the
 // standard library.
 //
+// The same length-framed encoding (WriteFrame/ReadFrame) carries the
+// streaming telemetry plane (internal/telemetry): agents push report
+// batches and epoch snapshots to the analyzer over a dedicated stream
+// using these frames, and the control channel exposes the exporter's
+// counters via the ExportStats request.
+//
 // A switch-side Agent wraps a module engine; a controller-side Client
 // dials it:
 //
@@ -27,17 +33,28 @@ import (
 	"github.com/newton-net/newton/internal/modules"
 )
 
-// maxFrame bounds one control message (a compiled program is a few KB;
-// a report drain a few hundred KB at worst).
-const maxFrame = 8 << 20
+// MaxFrame bounds one message (a compiled program is a few KB; a report
+// drain or telemetry batch a few hundred KB at worst).
+const MaxFrame = 8 << 20
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrame in either
+// direction: an outbound message that would not fit, or an inbound
+// header announcing an oversized body (a poisoned or misframed peer).
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds size limit")
+
+// ErrMalformedResponse is returned when the agent answers OK but the
+// response is missing the payload the request implies (e.g. a stats
+// reply without stats).
+var ErrMalformedResponse = errors.New("rpc: malformed response: missing payload")
 
 // Message types.
 const (
-	typeInstall = "install"
-	typeRemove  = "remove"
-	typeStats   = "stats"
-	typeDrain   = "drain_reports"
-	typeEpoch   = "next_epoch"
+	typeInstall     = "install"
+	typeRemove      = "remove"
+	typeStats       = "stats"
+	typeDrain       = "drain_reports"
+	typeEpoch       = "next_epoch"
+	typeExportStats = "export_stats"
 )
 
 // Request is one controller → agent message.
@@ -53,22 +70,35 @@ type Stats struct {
 	Installed   int `json:"installed"`
 }
 
+// ExportStats is the telemetry exporter's counter snapshot — a frame
+// type shared between the control channel (the export_stats request)
+// and the telemetry stream's final accounting frame.
+type ExportStats struct {
+	Enqueued  uint64 `json:"enqueued"`  // reports offered to the export ring
+	Exported  uint64 `json:"exported"`  // reports written to the stream
+	Dropped   uint64 `json:"dropped"`   // reports lost to drop-oldest overflow
+	Overflows uint64 `json:"overflows"` // ring-full events (blocks or drops)
+	Batches   uint64 `json:"batches"`   // report frames written
+	Snapshots uint64 `json:"snapshots"` // state-bank snapshot frames written
+}
+
 // Response is one agent → controller message.
 type Response struct {
 	OK      bool               `json:"ok"`
 	Error   string             `json:"error,omitempty"`
 	Stats   *Stats             `json:"stats,omitempty"`
+	Export  *ExportStats       `json:"export,omitempty"`
 	Reports []dataplane.Report `json:"reports,omitempty"`
 }
 
-// writeFrame sends one length-prefixed JSON message.
-func writeFrame(w io.Writer, v any) error {
+// WriteFrame sends one length-prefixed JSON message.
+func WriteFrame(w io.Writer, v any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("rpc: encoding: %w", err)
 	}
-	if len(body) > maxFrame {
-		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", len(body))
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: outbound frame of %d bytes", ErrFrameTooLarge, len(body))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -79,15 +109,15 @@ func writeFrame(w io.Writer, v any) error {
 	return err
 }
 
-// readFrame receives one length-prefixed JSON message into v.
-func readFrame(r io.Reader, v any) error {
+// ReadFrame receives one length-prefixed JSON message into v.
+func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return fmt.Errorf("rpc: inbound frame of %d bytes exceeds limit", n)
+	if n > MaxFrame {
+		return fmt.Errorf("%w: inbound frame of %d bytes", ErrFrameTooLarge, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
@@ -104,15 +134,50 @@ type Agent struct {
 	mu  sync.Mutex
 	sw  *dataplane.Switch
 	eng *modules.Engine
+
+	// OnEpoch, when set, runs on every next_epoch request before the
+	// register windows roll — the telemetry exporter's chance to snapshot
+	// the ending epoch's state banks (their values read as zero once the
+	// epoch advances). It runs under the agent's dispatch lock, so it is
+	// ordered with installs and drains.
+	OnEpoch func()
+
+	// ExportStatsFn, when set, serves the export_stats request — wired to
+	// the telemetry exporter's Stats method when one is attached.
+	ExportStatsFn func() ExportStats
+
+	// OnError, when set, receives connection-level errors that are not
+	// clean shutdowns (EOF, closed connections). When nil such errors are
+	// counted but otherwise dropped; ConnErrors exposes the count.
+	OnError func(error)
+
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	ln        net.Listener
+	closed    bool
+	connErrs  uint64
+	servingWG sync.WaitGroup
 }
 
 // NewAgent wraps a switch and its module engine.
 func NewAgent(sw *dataplane.Switch, eng *modules.Engine) *Agent {
-	return &Agent{sw: sw, eng: eng}
+	return &Agent{sw: sw, eng: eng, conns: map[net.Conn]struct{}{}}
 }
 
-// Serve accepts controller connections until the listener closes.
+// Serve accepts controller connections until the listener closes (or
+// Close is called).
 func (a *Agent) Serve(ln net.Listener) error {
+	a.connMu.Lock()
+	if a.closed {
+		a.connMu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	a.ln = ln
+	a.servingWG.Add(1)
+	a.connMu.Unlock()
+	defer a.servingWG.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -121,24 +186,112 @@ func (a *Agent) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		go a.HandleConn(conn)
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.HandleConn(conn)
+		}()
 	}
 }
 
+// track registers a live connection; it reports false when the agent is
+// already closed (the connection must not be served).
+func (a *Agent) track(conn net.Conn) bool {
+	a.connMu.Lock()
+	defer a.connMu.Unlock()
+	if a.closed {
+		return false
+	}
+	a.conns[conn] = struct{}{}
+	return true
+}
+
+func (a *Agent) untrack(conn net.Conn) {
+	a.connMu.Lock()
+	delete(a.conns, conn)
+	a.connMu.Unlock()
+}
+
+// surfaceErr routes a non-clean connection error to the error callback.
+func (a *Agent) surfaceErr(err error) {
+	a.connMu.Lock()
+	a.connErrs++
+	cb := a.OnError
+	a.connMu.Unlock()
+	if cb != nil {
+		cb(err)
+	}
+}
+
+// ConnErrors returns how many connections ended with a non-clean error.
+func (a *Agent) ConnErrors() uint64 {
+	a.connMu.Lock()
+	defer a.connMu.Unlock()
+	return a.connErrs
+}
+
+// cleanConnErr reports whether err is an expected way for a control
+// connection to end: the peer hung up or the socket was closed under us.
+func cleanConnErr(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed)
+}
+
 // HandleConn serves one controller connection (exported so tests can
-// drive net.Pipe ends directly).
+// drive net.Pipe ends directly). Errors other than a clean peer
+// shutdown are surfaced through OnError instead of being swallowed.
 func (a *Agent) HandleConn(conn net.Conn) {
-	defer conn.Close()
+	if !a.track(conn) {
+		conn.Close()
+		return
+	}
+	defer func() {
+		a.untrack(conn)
+		conn.Close()
+	}()
 	for {
 		var req Request
-		if err := readFrame(conn, &req); err != nil {
-			return // connection closed or poisoned; drop it
+		if err := ReadFrame(conn, &req); err != nil {
+			if !cleanConnErr(err) {
+				a.surfaceErr(fmt.Errorf("rpc: agent read: %w", err))
+			}
+			return
 		}
 		resp := a.dispatch(&req)
-		if err := writeFrame(conn, resp); err != nil {
+		if err := WriteFrame(conn, resp); err != nil {
+			if !cleanConnErr(err) {
+				a.surfaceErr(fmt.Errorf("rpc: agent write: %w", err))
+			}
 			return
 		}
 	}
+}
+
+// Close shuts the agent down: the listener stops accepting, every live
+// connection is closed, and Close blocks until all handler goroutines
+// have drained. The agent cannot be reused afterwards.
+func (a *Agent) Close() error {
+	a.connMu.Lock()
+	if a.closed {
+		a.connMu.Unlock()
+		return nil
+	}
+	a.closed = true
+	ln := a.ln
+	conns := make([]net.Conn, 0, len(a.conns))
+	for c := range a.conns {
+		conns = append(conns, c)
+	}
+	a.connMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	a.servingWG.Wait()
+	a.wg.Wait()
+	return nil
 }
 
 func (a *Agent) dispatch(req *Request) *Response {
@@ -166,8 +319,17 @@ func (a *Agent) dispatch(req *Request) *Response {
 	case typeDrain:
 		return &Response{OK: true, Reports: a.sw.DrainReports()}
 	case typeEpoch:
+		if a.OnEpoch != nil {
+			a.OnEpoch()
+		}
 		a.eng.Layout().Pipeline().NextEpoch()
 		return &Response{OK: true}
+	case typeExportStats:
+		if a.ExportStatsFn == nil {
+			return &Response{Error: "no telemetry exporter attached"}
+		}
+		st := a.ExportStatsFn()
+		return &Response{OK: true, Export: &st}
 	}
 	return &Response{Error: fmt.Sprintf("unknown request type %q", req.Type)}
 }
@@ -196,11 +358,11 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, req); err != nil {
+	if err := WriteFrame(c.conn, req); err != nil {
 		return nil, err
 	}
 	var resp Response
-	if err := readFrame(c.conn, &resp); err != nil {
+	if err := ReadFrame(c.conn, &resp); err != nil {
 		return nil, err
 	}
 	if !resp.OK {
@@ -227,7 +389,22 @@ func (c *Client) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	if resp.Stats == nil {
+		return Stats{}, fmt.Errorf("%w: stats", ErrMalformedResponse)
+	}
 	return *resp.Stats, nil
+}
+
+// ExportStats fetches the agent's telemetry-exporter counters.
+func (c *Client) ExportStats() (ExportStats, error) {
+	resp, err := c.roundTrip(&Request{Type: typeExportStats})
+	if err != nil {
+		return ExportStats{}, err
+	}
+	if resp.Export == nil {
+		return ExportStats{}, fmt.Errorf("%w: export stats", ErrMalformedResponse)
+	}
+	return *resp.Export, nil
 }
 
 // DrainReports pulls and clears the remote report buffer.

@@ -124,11 +124,11 @@ func TestUnknownRequestType(t *testing.T) {
 	server, client := net.Pipe()
 	go agent.HandleConn(server)
 	defer client.Close()
-	if err := writeFrame(client, &Request{Type: "reboot"}); err != nil {
+	if err := WriteFrame(client, &Request{Type: "reboot"}); err != nil {
 		t.Fatal(err)
 	}
 	var resp Response
-	if err := readFrame(client, &resp); err != nil {
+	if err := ReadFrame(client, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.OK || resp.Error == "" {
@@ -187,7 +187,7 @@ func TestFrameLimits(t *testing.T) {
 	}()
 	var v Response
 	errCh := make(chan error, 1)
-	go func() { errCh <- readFrame(server, &v) }()
+	go func() { errCh <- ReadFrame(server, &v) }()
 	select {
 	case err := <-errCh:
 		if err == nil {

@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/rpc"
+)
+
+// ExporterConfig parameterizes a switch-side exporter.
+type ExporterConfig struct {
+	// SwitchID names the switch in hello frames and report provenance.
+	SwitchID string
+	// RingSize bounds the export queue in reports (default 4096).
+	RingSize int
+	// BatchSize caps reports per frame (default 256). Batching amortizes
+	// the per-frame encode and syscall over many reports.
+	BatchSize int
+	// Policy picks the overflow behavior when the ring fills.
+	Policy Policy
+}
+
+func (c ExporterConfig) withDefaults() ExporterConfig {
+	if c.RingSize <= 0 {
+		c.RingSize = 4096
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	return c
+}
+
+// Exporter is the switch-side half of the telemetry plane: it accepts
+// mirrored reports from the packet path, buffers them in a bounded
+// ring, and pushes batched frames over a dedicated stream. A background
+// writer goroutine owns the stream; the packet path only ever touches
+// the ring, so a slow analyzer translates into ring pressure (block or
+// drop-oldest, per policy), never into unbounded memory.
+type Exporter struct {
+	cfg  ExporterConfig
+	conn net.Conn
+	ring *ring
+
+	writeMu sync.Mutex // serializes frames on the stream
+
+	mu        sync.Mutex
+	idle      *sync.Cond
+	enqueued  uint64 // reports offered to Export
+	exported  uint64 // reports written to the stream
+	lost      uint64 // reports lost to stream errors or late Export calls
+	batches   uint64
+	snapshots uint64
+	writeErr  error
+	closed    bool
+	writerEnd bool
+
+	wg sync.WaitGroup
+}
+
+// NewExporter starts an exporter over an established connection (TCP to
+// the analyzer, or one end of net.Pipe in tests). It sends the hello
+// frame synchronously and launches the stream writer.
+func NewExporter(conn net.Conn, cfg ExporterConfig) (*Exporter, error) {
+	cfg = cfg.withDefaults()
+	e := &Exporter{
+		cfg:  cfg,
+		conn: conn,
+		ring: newRing(cfg.RingSize, cfg.Policy),
+	}
+	e.idle = sync.NewCond(&e.mu)
+	if err := rpc.WriteFrame(conn, &Frame{Type: FrameHello, SwitchID: cfg.SwitchID}); err != nil {
+		return nil, fmt.Errorf("telemetry: hello: %w", err)
+	}
+	e.wg.Add(1)
+	go e.writer()
+	return e, nil
+}
+
+// Dial connects to an analyzer service and starts an exporter on the
+// stream.
+func Dial(addr string, cfg ExporterConfig) (*Exporter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: dialing analyzer: %w", err)
+	}
+	e, err := NewExporter(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Export offers mirrored reports to the stream. Under PolicyBlock it
+// blocks while the ring is full (lossless backpressure); under
+// PolicyDropOldest it always returns promptly, evicting the stalest
+// queued reports and counting every loss.
+func (e *Exporter) Export(rs []dataplane.Report) {
+	if len(rs) == 0 {
+		return
+	}
+	accepted := e.ring.put(rs)
+	e.mu.Lock()
+	e.enqueued += uint64(len(rs))
+	e.lost += uint64(len(rs) - accepted)
+	e.idle.Broadcast()
+	e.mu.Unlock()
+}
+
+// writer drains the ring and pushes report frames until the ring closes
+// and empties. After a stream error it keeps draining — counting the
+// undeliverable reports as lost — so block-policy producers never
+// deadlock on a dead analyzer.
+func (e *Exporter) writer() {
+	defer e.wg.Done()
+	buf := make([]dataplane.Report, 0, e.cfg.BatchSize)
+	for {
+		batch := e.ring.drainUpTo(e.cfg.BatchSize, buf)
+		if batch == nil {
+			break
+		}
+		var err error
+		e.mu.Lock()
+		dead := e.writeErr != nil
+		e.mu.Unlock()
+		if !dead {
+			err = e.writeFrame(&Frame{Type: FrameReports, SwitchID: e.cfg.SwitchID, Reports: batch})
+		}
+		e.mu.Lock()
+		switch {
+		case dead || err != nil:
+			if err != nil && e.writeErr == nil {
+				e.writeErr = err
+			}
+			e.lost += uint64(len(batch))
+		default:
+			e.exported += uint64(len(batch))
+			e.batches++
+		}
+		e.idle.Broadcast()
+		e.mu.Unlock()
+	}
+	e.mu.Lock()
+	e.writerEnd = true
+	e.idle.Broadcast()
+	e.mu.Unlock()
+}
+
+func (e *Exporter) writeFrame(f *Frame) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	return rpc.WriteFrame(e.conn, f)
+}
+
+// ExportSnapshot pushes an epoch-boundary state-bank snapshot frame.
+// Snapshots bypass the report ring: they are epoch-rate (one frame per
+// window), must not be dropped (the analyzer's merge is only correct
+// over complete epochs), and are written synchronously so the caller's
+// epoch roll orders after the capture.
+func (e *Exporter) ExportSnapshot(epoch uint32, banks []modules.BankSnapshot) error {
+	if err := e.writeFrame(&Frame{
+		Type: FrameSnapshot, SwitchID: e.cfg.SwitchID, Epoch: epoch, Snapshots: banks,
+	}); err != nil {
+		e.mu.Lock()
+		if e.writeErr == nil {
+			e.writeErr = err
+		}
+		e.mu.Unlock()
+		return fmt.Errorf("telemetry: snapshot: %w", err)
+	}
+	e.mu.Lock()
+	e.snapshots++
+	e.mu.Unlock()
+	return nil
+}
+
+// ExportEpoch snapshots every installed query's state banks on eng and
+// pushes them tagged with the current (ending) epoch. Call immediately
+// before rolling the epoch — rolled banks read as zero.
+func (e *Exporter) ExportEpoch(eng *modules.Engine) error {
+	banks := eng.SnapshotBanks()
+	if len(banks) == 0 {
+		return nil
+	}
+	return e.ExportSnapshot(eng.Layout().Epoch(), banks)
+}
+
+// AttachAgent wires the exporter into a control-channel agent: epoch
+// ticks from the controller snapshot-and-push the ending window's banks
+// before rolling, and the agent serves the exporter's counters on the
+// control channel's export_stats request.
+func (e *Exporter) AttachAgent(a *rpc.Agent, eng *modules.Engine) {
+	a.OnEpoch = func() { _ = e.ExportEpoch(eng) }
+	a.ExportStatsFn = e.Stats
+}
+
+// Flush blocks until everything offered to Export so far has been
+// written to the stream or accounted as lost/dropped.
+func (e *Exporter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		dropped, _ := e.ring.stats()
+		if e.exported+e.lost+dropped >= e.enqueued || e.writerEnd {
+			return e.writeErr
+		}
+		e.idle.Wait()
+	}
+}
+
+// Stats returns the exporter's counter snapshot. Dropped aggregates
+// ring evictions and stream-error losses; a zero Dropped under
+// PolicyBlock certifies lossless export.
+func (e *Exporter) Stats() rpc.ExportStats {
+	dropped, overflows := e.ring.stats()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return rpc.ExportStats{
+		Enqueued:  e.enqueued,
+		Exported:  e.exported,
+		Dropped:   dropped + e.lost,
+		Overflows: overflows,
+		Batches:   e.batches,
+		Snapshots: e.snapshots,
+	}
+}
+
+// Err returns the first stream error, if any.
+func (e *Exporter) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writeErr
+}
+
+// Close drains the ring (flushing every queued report), sends a bye
+// frame with final counters, and closes the stream. Under PolicyBlock
+// nothing offered before Close is lost unless the stream itself died.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	e.ring.close()
+	e.wg.Wait() // writer drains all pending reports
+
+	st := e.Stats()
+	_ = e.writeFrame(&Frame{Type: FrameBye, SwitchID: e.cfg.SwitchID, Stats: &st})
+	err := e.conn.Close()
+	e.mu.Lock()
+	werr := e.writeErr
+	e.mu.Unlock()
+	if werr != nil {
+		return werr
+	}
+	return err
+}

@@ -1,0 +1,54 @@
+// Package telemetry is Newton's streaming telemetry plane: the
+// push-based export path that replaces poll-only report draining. A
+// switch-side Exporter drains mirrored reports and epoch-boundary
+// state-bank snapshots into a bounded ring, batches them, and pushes
+// length-framed messages over a dedicated TCP stream with explicit
+// backpressure; an analyzer-side Service accepts many agent streams
+// concurrently, merges per-switch sketch banks network-wide (Count-Min
+// rows counter-wise, Bloom rows bitwise), deduplicates threshold alerts
+// across switches, and serves merged results to subscribers.
+//
+// This is the software half the paper's evaluation assumes (switches
+// "mirror" reports and result snapshots to a software analyzer, §5/§6.4)
+// and Sonata builds as a streaming system: data-plane tuples in,
+// network-wide answers out.
+package telemetry
+
+import (
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/rpc"
+)
+
+// Frame types carried on the telemetry stream. Frames reuse the control
+// channel's length-framed JSON encoding (rpc.WriteFrame/rpc.ReadFrame),
+// so one wire discipline serves both planes.
+const (
+	// FrameHello opens a stream: the agent announces its switch ID.
+	FrameHello = "hello"
+	// FrameReports carries a batch of mirrored reports.
+	FrameReports = "reports"
+	// FrameSnapshot carries the epoch-boundary state-bank snapshots of
+	// every installed query on the sending switch.
+	FrameSnapshot = "snapshot"
+	// FrameBye closes a stream cleanly, carrying the exporter's final
+	// counters so the analyzer can account for loss explicitly.
+	FrameBye = "bye"
+)
+
+// Frame is one telemetry-stream message.
+type Frame struct {
+	Type     string `json:"type"`
+	SwitchID string `json:"switch_id,omitempty"`
+
+	// Epoch tags snapshot frames with the register epoch that just
+	// ended (the window the snapshot captures).
+	Epoch uint32 `json:"epoch,omitempty"`
+
+	Reports   []dataplane.Report     `json:"reports,omitempty"`
+	Snapshots []modules.BankSnapshot `json:"snapshots,omitempty"`
+
+	// Stats rides on bye frames: the exporter's final counters, shared
+	// with the control channel's export_stats response type.
+	Stats *rpc.ExportStats `json:"stats,omitempty"`
+}

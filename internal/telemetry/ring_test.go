@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/dataplane"
+)
+
+func mkReports(base, n int) []dataplane.Report {
+	rs := make([]dataplane.Report, n)
+	for i := range rs {
+		rs[i] = dataplane.Report{QueryID: 1, TS: uint64(base + i)}
+	}
+	return rs
+}
+
+func TestRingBlockPolicyBackpressures(t *testing.T) {
+	r := newRing(4, PolicyBlock)
+	if got := r.put(mkReports(0, 4)); got != 4 {
+		t.Fatalf("put = %d, want 4", got)
+	}
+
+	// The fifth put must block until the consumer drains.
+	unblocked := make(chan int)
+	go func() { unblocked <- r.put(mkReports(4, 1)) }()
+	select {
+	case <-unblocked:
+		t.Fatal("put returned on a full block-policy ring")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	got := r.drainUpTo(2, nil)
+	if len(got) != 2 || got[0].TS != 0 || got[1].TS != 1 {
+		t.Fatalf("drained %v, want TS 0,1", got)
+	}
+	select {
+	case n := <-unblocked:
+		if n != 1 {
+			t.Fatalf("blocked put accepted %d, want 1", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("put stayed blocked after drain")
+	}
+
+	dropped, overflows := r.stats()
+	if dropped != 0 {
+		t.Errorf("dropped = %d under block policy", dropped)
+	}
+	if overflows == 0 {
+		t.Error("the full-ring event went uncounted")
+	}
+	// FIFO order held across the wrap: 2,3 then the late 4.
+	rest := r.drainUpTo(10, nil)
+	if len(rest) != 3 || rest[0].TS != 2 || rest[2].TS != 4 {
+		t.Errorf("tail = %v, want TS 2,3,4", rest)
+	}
+}
+
+func TestRingDropOldestEvictsAndCounts(t *testing.T) {
+	r := newRing(4, PolicyDropOldest)
+	if got := r.put(mkReports(0, 10)); got != 10 {
+		t.Fatalf("put = %d, want 10 (drop-oldest always admits)", got)
+	}
+	dropped, overflows := r.stats()
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6", dropped)
+	}
+	if overflows != 6 {
+		t.Errorf("overflows = %d, want 6", overflows)
+	}
+	// The freshest four survive.
+	got := r.drainUpTo(10, nil)
+	if len(got) != 4 || got[0].TS != 6 || got[3].TS != 9 {
+		t.Errorf("survivors = %v, want TS 6..9", got)
+	}
+}
+
+func TestRingCloseWakesBlockedProducerAndDrainsTail(t *testing.T) {
+	r := newRing(2, PolicyBlock)
+	r.put(mkReports(0, 2))
+	done := make(chan int)
+	go func() { done <- r.put(mkReports(2, 1)) }()
+	time.Sleep(20 * time.Millisecond)
+	r.close()
+	select {
+	case n := <-done:
+		if n != 0 {
+			t.Errorf("closed ring accepted %d reports mid-block", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close left the producer blocked")
+	}
+	// Pending reports stay drainable; after that, nil signals shutdown.
+	if got := r.drainUpTo(10, nil); len(got) != 2 {
+		t.Fatalf("drained %d after close, want 2", len(got))
+	}
+	if got := r.drainUpTo(10, nil); got != nil {
+		t.Fatalf("drain on empty closed ring = %v, want nil", got)
+	}
+}

@@ -1,0 +1,530 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/sketch"
+)
+
+// ServiceConfig parameterizes the analyzer service.
+type ServiceConfig struct {
+	// Window is the query evaluation window used to deduplicate
+	// threshold alerts across switches (default 100 ms, the paper's
+	// epoch).
+	Window time.Duration
+	// KeepEpochs bounds how many merged epochs stay resident per bank
+	// (default 16); older epochs are pruned as new ones arrive.
+	KeepEpochs int
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.Window <= 0 {
+		c.Window = 100 * time.Millisecond
+	}
+	if c.KeepEpochs <= 0 {
+		c.KeepEpochs = 16
+	}
+	return c
+}
+
+// bankKey identifies one sketch row of one query network-wide.
+type bankKey struct {
+	qid, part, branch, row int
+}
+
+// MergedBank is the network-wide merge of one sketch row across every
+// switch that exported it for one epoch: Count-Min rows sum counter-wise
+// (each packet increments exactly one switch's counter, so the sum is
+// the row a single switch seeing all traffic would hold), Bloom rows OR
+// bitwise (a key is seen network-wide iff some switch saw it).
+type MergedBank struct {
+	Kind    modules.BankKind
+	Algo    sketch.Algo
+	Seed    uint32
+	Range   uint32
+	KeyMask fields.Mask
+	Width   uint32
+
+	// Values are uint64 so counter sums over many switches cannot wrap
+	// the registers' 32 bits.
+	Values   []uint64
+	Switches []string // switch IDs merged in, in arrival order
+}
+
+// slot computes the key's index in the merged row, replaying the
+// data-plane H module.
+func (m *MergedBank) slot(keyBytes []byte) uint32 {
+	bs := modules.BankSnapshot{Algo: m.Algo, Seed: m.Seed, Range: m.Range, Width: m.Width}
+	return bs.Slot(keyBytes)
+}
+
+// alertKey deduplicates threshold alerts network-wide: one alert per
+// query, window, and monitored key, whichever switch reports first.
+type alertKey struct {
+	qid    int
+	window uint64
+	key    string // masked key bytes
+}
+
+// EventKind classifies subscription events.
+type EventKind int
+
+const (
+	// EventAlert is a network-wide-deduplicated threshold alert.
+	EventAlert EventKind = iota
+	// EventSnapshotMerged fires when an agent's epoch snapshot has been
+	// merged into the network-wide banks.
+	EventSnapshotMerged
+)
+
+// Event is one subscription message.
+type Event struct {
+	Kind EventKind
+
+	// Alert fields (EventAlert): the first report of this (query,
+	// window, key) network-wide, plus the window it fell in.
+	Report dataplane.Report
+	Window uint64
+
+	// Merge fields (EventSnapshotMerged).
+	SwitchID string
+	Epoch    uint32
+	Banks    int
+}
+
+// agentInfo is the per-stream accounting of one connected agent.
+type agentInfo struct {
+	Reports   uint64
+	Snapshots uint64
+	Bye       *rpc.ExportStats // final counters, once the agent said bye
+}
+
+// Service is the analyzer-side half of the telemetry plane: a
+// concurrent stream server that ingests many agents' report batches and
+// epoch snapshots, maintains network-wide merged sketch banks per
+// (query, epoch), deduplicates threshold alerts across switches, and
+// fans results out to subscribers over channels.
+type Service struct {
+	cfg ServiceConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	agents map[string]*agentInfo
+	merged map[bankKey]map[uint32]*MergedBank // bank -> epoch -> merge
+	epochs map[uint32]bool                    // epochs seen (for pruning order)
+
+	seen    map[alertKey]bool
+	pending []dataplane.Report // deduped alerts not yet drained
+	subs    map[int]chan Event
+	nextSub int
+
+	totalReports   uint64
+	dupAlerts      uint64
+	totalSnapshots uint64
+	subDropped     uint64
+}
+
+// NewService builds an analyzer service.
+func NewService(cfg ServiceConfig) *Service {
+	return &Service{
+		cfg:    cfg.withDefaults(),
+		conns:  map[net.Conn]struct{}{},
+		agents: map[string]*agentInfo{},
+		merged: map[bankKey]map[uint32]*MergedBank{},
+		epochs: map[uint32]bool{},
+		seen:   map[alertKey]bool{},
+		subs:   map[int]chan Event{},
+	}
+}
+
+// Serve accepts agent streams until the listener closes (or Close).
+func (s *Service) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.HandleConn(conn)
+		}()
+	}
+}
+
+// HandleConn ingests one agent stream (exported so tests and in-process
+// deployments can wire net.Pipe ends directly). It returns when the
+// stream ends; a clean bye or peer close returns nil.
+func (s *Service) HandleConn(conn net.Conn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return net.ErrClosed
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	var hello Frame
+	if err := rpc.ReadFrame(conn, &hello); err != nil {
+		return fmt.Errorf("telemetry: reading hello: %w", err)
+	}
+	if hello.Type != FrameHello || hello.SwitchID == "" {
+		return fmt.Errorf("telemetry: stream did not open with hello (got %q)", hello.Type)
+	}
+	agent := s.registerAgent(hello.SwitchID)
+
+	for {
+		var f Frame
+		if err := rpc.ReadFrame(conn, &f); err != nil {
+			if cleanStreamErr(err) {
+				return nil
+			}
+			return fmt.Errorf("telemetry: agent %s: %w", hello.SwitchID, err)
+		}
+		switch f.Type {
+		case FrameReports:
+			s.ingestReports(agent, f.Reports)
+		case FrameSnapshot:
+			s.ingestSnapshot(agent, hello.SwitchID, f.Epoch, f.Snapshots)
+		case FrameBye:
+			s.mu.Lock()
+			agent.Bye = f.Stats
+			s.mu.Unlock()
+			return nil
+		default:
+			return fmt.Errorf("telemetry: agent %s: unknown frame %q", hello.SwitchID, f.Type)
+		}
+	}
+}
+
+func cleanStreamErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrClosedPipe)
+}
+
+func (s *Service) registerAgent(id string) *agentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.agents[id]
+	if a == nil {
+		a = &agentInfo{}
+		s.agents[id] = a
+	}
+	return a
+}
+
+// ingestReports deduplicates threshold alerts network-wide: reports for
+// the same (query, window, key) from different switches — or repeated
+// crossings within a window — collapse to the first arrival.
+func (s *Service) ingestReports(agent *agentInfo, rs []dataplane.Report) {
+	windowNs := uint64(s.cfg.Window)
+	var fresh []Event
+	s.mu.Lock()
+	agent.Reports += uint64(len(rs))
+	s.totalReports += uint64(len(rs))
+	for _, r := range rs {
+		w := r.TS / windowNs
+		key := alertKey{qid: r.QueryID, window: w, key: string(r.KeyMask.Bytes(&r.Keys, nil))}
+		if s.seen[key] {
+			s.dupAlerts++
+			continue
+		}
+		s.seen[key] = true
+		s.pending = append(s.pending, r)
+		fresh = append(fresh, Event{Kind: EventAlert, Report: r, Window: w})
+	}
+	s.publishLocked(fresh)
+	s.mu.Unlock()
+}
+
+// ingestSnapshot merges one agent's epoch snapshot into the
+// network-wide banks.
+func (s *Service) ingestSnapshot(agent *agentInfo, switchID string, epoch uint32, banks []modules.BankSnapshot) {
+	s.mu.Lock()
+	agent.Snapshots++
+	s.totalSnapshots++
+	s.epochs[epoch] = true
+	for i := range banks {
+		b := &banks[i]
+		bk := bankKey{qid: b.QueryID, part: b.Part, branch: b.Branch, row: b.Row}
+		byEpoch := s.merged[bk]
+		if byEpoch == nil {
+			byEpoch = map[uint32]*MergedBank{}
+			s.merged[bk] = byEpoch
+		}
+		m := byEpoch[epoch]
+		if m == nil {
+			m = &MergedBank{
+				Kind: b.Kind, Algo: b.Algo, Seed: b.Seed, Range: b.Range,
+				KeyMask: b.KeyMask, Width: b.Width,
+				Values: make([]uint64, len(b.Values)),
+			}
+			byEpoch[epoch] = m
+		}
+		if len(b.Values) == len(m.Values) {
+			if b.Kind == modules.BankBloomRow {
+				for j, v := range b.Values {
+					m.Values[j] |= uint64(v)
+				}
+			} else {
+				for j, v := range b.Values {
+					m.Values[j] += uint64(v)
+				}
+			}
+			m.Switches = append(m.Switches, switchID)
+		}
+		s.pruneLocked(bk, byEpoch)
+	}
+	s.publishLocked([]Event{{
+		Kind: EventSnapshotMerged, SwitchID: switchID, Epoch: epoch, Banks: len(banks),
+	}})
+	s.mu.Unlock()
+}
+
+// pruneLocked evicts the oldest merged epochs of a bank beyond the
+// retention bound.
+func (s *Service) pruneLocked(bk bankKey, byEpoch map[uint32]*MergedBank) {
+	if len(byEpoch) <= s.cfg.KeepEpochs {
+		return
+	}
+	eps := make([]uint32, 0, len(byEpoch))
+	for e := range byEpoch {
+		eps = append(eps, e)
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	for _, e := range eps[:len(eps)-s.cfg.KeepEpochs] {
+		delete(byEpoch, e)
+	}
+}
+
+// publishLocked fans events out to subscribers without blocking ingest:
+// a subscriber whose buffer is full loses the event (counted).
+func (s *Service) publishLocked(evs []Event) {
+	for _, ev := range evs {
+		for _, ch := range s.subs {
+			select {
+			case ch <- ev:
+			default:
+				s.subDropped++
+			}
+		}
+	}
+}
+
+// Subscribe registers a result consumer. Events arrive on the returned
+// channel (buffered to buf, default 64); cancel unregisters and closes
+// it. Ingest never blocks on a slow subscriber — overflow events are
+// dropped and counted in SubscriberDrops.
+func (s *Service) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+		s.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Estimate answers a network-wide point query from the merged Count-Min
+// banks of (query, branch) at the given epoch: the minimum over merged
+// rows at the key's slots — exactly the estimate a single switch holding
+// all the traffic would produce. The keys vector carries the monitored
+// entity (e.g. the victim DstIP); ok is false when no merged CMS rows
+// exist for that (query, branch, epoch).
+func (s *Service) Estimate(qid, branch int, epoch uint32, keys *fields.Vector) (est uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	est = ^uint64(0)
+	for bk, byEpoch := range s.merged {
+		if bk.qid != qid || bk.branch != branch {
+			continue
+		}
+		m := byEpoch[epoch]
+		if m == nil || m.Kind != modules.BankCMSRow {
+			continue
+		}
+		kb := m.KeyMask.Bytes(keys, nil)
+		v := m.Values[m.slot(kb)]
+		if v < est {
+			est = v
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	return est, true
+}
+
+// SeenDistinct reports whether the merged network-wide Bloom banks of
+// (query, branch) at epoch contain the key — true iff every merged
+// Bloom row has the key's bit set on some switch.
+func (s *Service) SeenDistinct(qid, branch int, epoch uint32, keys *fields.Vector) (seen, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen = true
+	for bk, byEpoch := range s.merged {
+		if bk.qid != qid || bk.branch != branch {
+			continue
+		}
+		m := byEpoch[epoch]
+		if m == nil || m.Kind != modules.BankBloomRow {
+			continue
+		}
+		kb := m.KeyMask.Bytes(keys, nil)
+		if m.Values[m.slot(kb)] == 0 {
+			seen = false
+		}
+		ok = true
+	}
+	if !ok {
+		return false, false
+	}
+	return seen, true
+}
+
+// MergedRows returns the merged banks of (query, branch) at epoch, row
+// order, for inspection.
+func (s *Service) MergedRows(qid, branch int, epoch uint32) []*MergedBank {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type rowBank struct {
+		row int
+		m   *MergedBank
+	}
+	var rows []rowBank
+	for bk, byEpoch := range s.merged {
+		if bk.qid != qid || bk.branch != branch {
+			continue
+		}
+		if m := byEpoch[epoch]; m != nil {
+			rows = append(rows, rowBank{bk.row, m})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].row < rows[j].row })
+	out := make([]*MergedBank, len(rows))
+	for i, r := range rows {
+		out[i] = r.m
+	}
+	return out
+}
+
+// DrainReports returns and clears the deduplicated alert reports
+// accumulated since the last drain — the push-based replacement for the
+// controller's per-agent DrainReports polling.
+func (s *Service) DrainReports() []dataplane.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.pending
+	s.pending = nil
+	return out
+}
+
+// Stats summarizes the service's ingest accounting.
+type ServiceStats struct {
+	Agents          int
+	Reports         uint64 // raw reports ingested (pre-dedup)
+	DuplicateAlerts uint64 // reports suppressed by network-wide dedup
+	Snapshots       uint64 // snapshot frames merged
+	SubscriberDrops uint64 // events lost to slow subscribers
+}
+
+// Stats returns the current ingest counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServiceStats{
+		Agents:          len(s.agents),
+		Reports:         s.totalReports,
+		DuplicateAlerts: s.dupAlerts,
+		Snapshots:       s.totalSnapshots,
+		SubscriberDrops: s.subDropped,
+	}
+}
+
+// AgentStats returns the per-agent accounting for switch id (reports
+// and snapshots ingested, plus the agent's final exporter counters once
+// it said bye — the explicit loss account).
+func (s *Service) AgentStats(id string) (agentReports, agentSnapshots uint64, bye *rpc.ExportStats, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.agents[id]
+	if a == nil {
+		return 0, 0, nil, false
+	}
+	return a.Reports, a.Snapshots, a.Bye, true
+}
+
+// Close stops accepting, closes every live stream, and waits for
+// handlers to drain. Subscriber channels are closed.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	s.mu.Lock()
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+	s.mu.Unlock()
+	return nil
+}
