@@ -82,20 +82,21 @@ func main() {
 		default:
 			log.Fatalf("newton-agent: unknown -export-policy %q", *policy)
 		}
-		exp, err = telemetry.Dial(*analyzer, telemetry.ExporterConfig{
+		// DialAttached wires the control agent's epoch hooks in one step
+		// (and unwires them if the dial fails); the exporter then
+		// auto-reconnects after analyzer outages, replaying its latest
+		// epoch snapshot, so the agent never needs a restart.
+		exp, err = telemetry.DialAttached(*analyzer, telemetry.ExporterConfig{
 			SwitchID:  *name,
 			RingSize:  *ringSize,
 			BatchSize: *batchSize,
 			Policy:    pol,
-		})
+		}, agent, eng)
 		if err != nil {
 			log.Fatalf("newton-agent: %v", err)
 		}
 		defer exp.Close()
-		// Controller epoch ticks snapshot-and-push the ending window's
-		// banks; export_stats becomes answerable on the control channel.
-		exp.AttachAgent(agent, eng)
-		fmt.Fprintf(os.Stderr, "newton-agent: streaming telemetry to %s (policy=%s)\n", *analyzer, pol)
+		fmt.Fprintf(os.Stderr, "newton-agent: streaming telemetry to %s (policy=%s, auto-reconnect)\n", *analyzer, pol)
 	}
 
 	go func() {
@@ -163,8 +164,8 @@ func main() {
 		}
 		st := exp.Stats()
 		fmt.Fprintf(os.Stderr,
-			"newton-agent: telemetry: %d/%d reports exported in %d batches, %d dropped, %d snapshots\n",
-			st.Exported, st.Enqueued, st.Batches, st.Dropped, st.Snapshots)
+			"newton-agent: telemetry: %d/%d reports exported in %d batches, %d dropped, %d snapshots, %d reconnects\n",
+			st.Exported, st.Enqueued, st.Batches, st.Dropped, st.Snapshots, st.Reconnects)
 	}
 	// Keep serving so the controller can drain the final reports.
 	fmt.Fprintln(os.Stderr, "newton-agent: replay complete; control channel stays up (ctrl-c to exit)")

@@ -61,8 +61,9 @@ func main() {
 			for range time.Tick(*stats) {
 				st := svc.Stats()
 				fmt.Fprintf(os.Stderr,
-					"newton-analyzer: agents=%d reports=%d dup_alerts=%d snapshots=%d\n",
-					st.Agents, st.Reports, st.DuplicateAlerts, st.Snapshots)
+					"newton-analyzer: agents=%d live=%d reports=%d dup_alerts=%d snapshots=%d reconnects=%d epoch_gaps=%d\n",
+					st.Agents, st.LiveAgents, st.Reports, st.DuplicateAlerts, st.Snapshots,
+					st.Reconnects, st.EpochGaps)
 			}
 		}()
 	}

@@ -27,10 +27,12 @@ func main() {
 		flows  = flag.Int("flows", 3000, "background flows for trace-driven experiments")
 		dur    = flag.Duration("duration", 500*time.Millisecond, "trace duration (virtual time)")
 		hops   = flag.Int("hops", 5, "maximum hop count for fig13")
+		fseed  = flag.Int64("fault-seed", 1, "seed for the chaos experiment's fault injection")
 	)
 	flag.Parse()
 
 	suite := map[string]func() fmt.Stringer{
+		"chaos":    func() fmt.Stringer { return experiments.ChaosRecovery(experiments.ChaosConfig{Seed: *fseed}) },
 		"table3":   func() fmt.Stringer { return experiments.Table3() },
 		"ablation": func() fmt.Stringer { return experiments.Ablation() },
 		"fig10":    func() fmt.Stringer { return experiments.Fig10Interruption(2000, 40, 20000) },

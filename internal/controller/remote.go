@@ -4,14 +4,77 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/newton-net/newton/internal/compiler"
 	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/modules"
 	"github.com/newton-net/newton/internal/query"
 	"github.com/newton-net/newton/internal/rpc"
 	"github.com/newton-net/newton/internal/telemetry"
 )
+
+// DeployOutcome is one switch's part in a failed deploy.
+type DeployOutcome struct {
+	Switch      string
+	Installed   bool  // the install had succeeded before the deploy failed
+	Err         error // the install error, when this switch caused the failure
+	RolledBack  bool  // the rollback remove succeeded
+	RollbackErr error // rollback failed — residual rules remain on this switch
+}
+
+// PartialDeployError reports a deploy that could not complete on every
+// target switch. The controller rolls back already-installed rules
+// before returning it, because a sharded or partitioned query missing a
+// member silently undercounts every key that member owns — all-or-
+// nothing is the only safe contract. Outcomes list what happened on
+// each touched switch; Residual names switches where even the rollback
+// failed and rules may remain.
+type PartialDeployError struct {
+	QID      int
+	Mode     string
+	Failed   string // the switch whose install failed
+	Outcomes []DeployOutcome
+}
+
+func (e *PartialDeployError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "controller: %s deploy of query %d failed on %q", e.Mode, e.QID, e.Failed)
+	if res := e.Residual(); len(res) > 0 {
+		fmt.Fprintf(&b, " (rollback incomplete, residual rules on %s)", strings.Join(res, ", "))
+	} else {
+		b.WriteString(" (rolled back)")
+	}
+	for _, o := range e.Outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(&b, ": %v", o.Err)
+			break
+		}
+	}
+	return b.String()
+}
+
+// Residual names switches that may still hold rules for the failed
+// deploy (their rollback remove failed too).
+func (e *PartialDeployError) Residual() []string {
+	var out []string
+	for _, o := range e.Outcomes {
+		if o.Installed && !o.RolledBack {
+			out = append(out, o.Switch)
+		}
+	}
+	return out
+}
+
+// deploySpec records what a deployment asked for, so the controller can
+// re-drive an agent toward it after the agent restarts (Reconverge).
+type deploySpec struct {
+	q       *query.Query
+	width   uint32
+	names   []string
+	sharded bool
+}
 
 // Remote is the Newton controller speaking to switch agents over the
 // control channel (internal/rpc) instead of in-process engines — the
@@ -23,6 +86,7 @@ type Remote struct {
 
 	nextQID     int
 	deployments map[int][]string // qid -> agent names
+	specs       map[int]*deploySpec
 
 	// svc, when attached, replaces per-agent report polling: agents push
 	// reports to the analyzer service and Collect drains the merged,
@@ -35,44 +99,61 @@ func NewRemote(agents map[string]*rpc.Client, seed int64) *Remote {
 	return &Remote{
 		agents: agents, rng: rand.New(rand.NewSource(seed)),
 		nextQID: 1, deployments: map[int][]string{},
+		specs: map[int]*deploySpec{},
 	}
 }
 
-// Install compiles a query and pushes it to the named agents (all
-// agents when names is nil). Returns the assigned QID and the modeled
-// operation latency (per-switch batches run in parallel; the slowest
-// bounds the delay).
-func (r *Remote) Install(q *query.Query, width uint32, names []string) (int, time.Duration, error) {
-	if len(names) == 0 {
-		for n := range r.agents {
-			names = append(names, n)
-		}
+// compileFor compiles spec's query for position i of its target list.
+func (s *deploySpec) compileFor(qid int, i int) (*modules.Program, error) {
+	o := compiler.AllOpts()
+	o.QID = qid
+	o.Width = s.width
+	if s.sharded {
+		o.ShardIndex, o.ShardCount = uint32(i), uint32(len(s.names))
 	}
+	return compiler.Compile(s.q, o)
+}
+
+// deploy transactionally installs spec on every target: either all
+// switches hold the query afterwards, or none do (already-installed
+// rules are rolled back and a *PartialDeployError describes the
+// per-switch outcomes). Transient transport failures are retried inside
+// each client; only exhausted retries or agent rejections fail a
+// switch.
+func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 	qid := r.nextQID
-	var done []string
-	undo := func() {
-		for _, n := range done {
-			_ = r.agents[n].Remove(qid)
-		}
-	}
 	maxRules := 0
-	for _, n := range names {
+	var done []string
+
+	fail := func(failed string, installErr error) error {
+		perr := &PartialDeployError{QID: qid, Failed: failed, Mode: "replicate"}
+		if spec.sharded {
+			perr.Mode = "shard"
+		}
+		for _, n := range done {
+			o := DeployOutcome{Switch: n, Installed: true}
+			if err := r.agents[n].Remove(qid); err == nil || rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
+				o.RolledBack = true
+			} else {
+				o.RollbackErr = err
+			}
+			perr.Outcomes = append(perr.Outcomes, o)
+		}
+		perr.Outcomes = append(perr.Outcomes, DeployOutcome{Switch: failed, Err: installErr})
+		return perr
+	}
+
+	for i, n := range spec.names {
 		c, ok := r.agents[n]
 		if !ok {
-			undo()
-			return 0, 0, fmt.Errorf("controller: no agent %q", n)
+			return 0, 0, fail(n, fmt.Errorf("controller: no agent %q", n))
 		}
-		o := compiler.AllOpts()
-		o.QID = qid
-		o.Width = width
-		p, err := compiler.Compile(q, o)
+		p, err := spec.compileFor(qid, i)
 		if err != nil {
-			undo()
-			return 0, 0, err
+			return 0, 0, fail(n, err)
 		}
 		if err := c.Install(p); err != nil {
-			undo()
-			return 0, 0, fmt.Errorf("controller: agent %q: %w", n, err)
+			return 0, 0, fail(n, fmt.Errorf("controller: agent %q: %w", n, err))
 		}
 		done = append(done, n)
 		if rules := p.RuleCount() + 1; rules > maxRules {
@@ -81,23 +162,56 @@ func (r *Remote) Install(q *query.Query, width uint32, names []string) (int, tim
 	}
 	r.nextQID++
 	r.deployments[qid] = done
+	r.specs[qid] = spec
+	if r.svc != nil {
+		r.svc.SetExpected(qid, done)
+	}
 	f := 0.9 + 0.2*r.rng.Float64()
 	delay := time.Duration(float64(installBase+time.Duration(maxRules)*installPerRule) * f)
 	return qid, delay, nil
 }
 
-// Remove uninstalls a deployment from every agent holding it.
+// resolveNames expands nil to every agent, sorted so shard indices are
+// deterministic.
+func (r *Remote) resolveNames(names []string) []string {
+	if len(names) > 0 {
+		return names
+	}
+	for n := range r.agents {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Install compiles a query and pushes it to the named agents (all
+// agents when names is nil). The deploy is transactional: on any
+// failure already-installed rules are removed and a typed
+// *PartialDeployError is returned. Returns the assigned QID and the
+// modeled operation latency (per-switch batches run in parallel; the
+// slowest bounds the delay).
+func (r *Remote) Install(q *query.Query, width uint32, names []string) (int, time.Duration, error) {
+	return r.deploy(&deploySpec{q: q, width: width, names: r.resolveNames(names)})
+}
+
+// Remove uninstalls a deployment from every agent holding it. An agent
+// that no longer has the query (it restarted since) already satisfies
+// the desired state and does not fail the removal.
 func (r *Remote) Remove(qid int) error {
 	names, ok := r.deployments[qid]
 	if !ok {
 		return fmt.Errorf("controller: no deployment %d", qid)
 	}
 	for _, n := range names {
-		if err := r.agents[n].Remove(qid); err != nil {
+		if err := r.agents[n].Remove(qid); err != nil && !rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
 			return fmt.Errorf("controller: agent %q: %w", n, err)
 		}
 	}
 	delete(r.deployments, qid)
+	delete(r.specs, qid)
+	if r.svc != nil {
+		r.svc.SetExpected(qid, nil)
+	}
 	return nil
 }
 
@@ -122,51 +236,42 @@ func (r *Remote) AttachTelemetry(svc *telemetry.Service) { r.svc = svc }
 // agent i owns keys whose owner hash ≡ i mod len(names), so the agents
 // partition the key space and the analyzer's merged banks reconstruct
 // the network-wide view. Names nil shards across all agents (in sorted
-// order, so shard indices are deterministic).
+// order, so shard indices are deterministic). Sharded deploys are
+// strictly all-or-nothing — a missing shard member would silently
+// undercount every key it owns — so any failure rolls back and returns
+// a *PartialDeployError.
 func (r *Remote) InstallSharded(q *query.Query, width uint32, names []string) (int, time.Duration, error) {
-	if len(names) == 0 {
-		for n := range r.agents {
-			names = append(names, n)
-		}
-		sort.Strings(names)
+	return r.deploy(&deploySpec{q: q, width: width, names: r.resolveNames(names), sharded: true})
+}
+
+// Reconverge re-drives every live deployment toward its recorded spec:
+// each agent is offered its program again, and an "already installed"
+// answer counts as convergence (the ops are level-triggered). This is
+// the controller's answer to an agent restart that lost its installs —
+// call it whenever an agent reappears. It returns the first hard error.
+func (r *Remote) Reconverge() error {
+	qids := make([]int, 0, len(r.specs))
+	for qid := range r.specs {
+		qids = append(qids, qid)
 	}
-	qid := r.nextQID
-	var done []string
-	undo := func() {
-		for _, n := range done {
-			_ = r.agents[n].Remove(qid)
-		}
-	}
-	maxRules := 0
-	for i, n := range names {
-		c, ok := r.agents[n]
-		if !ok {
-			undo()
-			return 0, 0, fmt.Errorf("controller: no agent %q", n)
-		}
-		o := compiler.AllOpts()
-		o.QID = qid
-		o.Width = width
-		o.ShardIndex, o.ShardCount = uint32(i), uint32(len(names))
-		p, err := compiler.Compile(q, o)
-		if err != nil {
-			undo()
-			return 0, 0, err
-		}
-		if err := c.Install(p); err != nil {
-			undo()
-			return 0, 0, fmt.Errorf("controller: agent %q: %w", n, err)
-		}
-		done = append(done, n)
-		if rules := p.RuleCount() + 1; rules > maxRules {
-			maxRules = rules
+	sort.Ints(qids)
+	for _, qid := range qids {
+		spec := r.specs[qid]
+		for i, n := range spec.names {
+			c, ok := r.agents[n]
+			if !ok {
+				return fmt.Errorf("controller: no agent %q", n)
+			}
+			p, err := spec.compileFor(qid, i)
+			if err != nil {
+				return err
+			}
+			if err := c.Install(p); err != nil && !rpc.IsAgentCode(err, rpc.CodeAlreadyInstalled) {
+				return fmt.Errorf("controller: reconverge agent %q: %w", n, err)
+			}
 		}
 	}
-	r.nextQID++
-	r.deployments[qid] = done
-	f := 0.9 + 0.2*r.rng.Float64()
-	delay := time.Duration(float64(installBase+time.Duration(maxRules)*installPerRule) * f)
-	return qid, delay, nil
+	return nil
 }
 
 // Collect returns new reports: the merged push-based stream when a

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/newton-net/newton/internal/controller"
+	"github.com/newton-net/newton/internal/faults"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/topology"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+// ChaosConfig parameterizes the fault-recovery experiment.
+type ChaosConfig struct {
+	// Seed drives the trace, the fault injectors, and the client retry
+	// jitter — the whole run is reproducible from it (default 1).
+	Seed int64
+	// Flows sizes the background traffic (default 800).
+	Flows int
+	// Duration is the trace length (default 300ms — three windows).
+	Duration time.Duration
+	// ResetProb is the per-I/O probability of an injected connection
+	// reset on every control channel (default 0.05).
+	ResetProb float64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Flows == 0 {
+		c.Flows = 800
+	}
+	if c.Duration == 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if c.ResetProb == 0 {
+		c.ResetProb = 0.05
+	}
+	return c
+}
+
+// ChaosResult is the outcome of one chaos run: the report count of a
+// fault-free reference, the count under injected resets plus an agent
+// kill+restart, and the recovery bookkeeping.
+type ChaosResult struct {
+	Seed          int64
+	Baseline      int     // reports collected fault-free
+	WithFaults    int     // reports collected under faults + restart
+	RecoveredPct  float64 // WithFaults / Baseline
+	Resets        uint64  // injected connection resets
+	Retries       uint64  // client call retries
+	Redials       uint64  // client reconnects
+	ReinstalledOK bool    // restarted agent converged back to the deploy
+}
+
+// chaosNet is one controller-over-TCP deployment of a 3-switch line.
+type chaosNet struct {
+	net     *netsim.Network
+	h1, h2  int
+	ids     []int
+	names   []string
+	agents  map[string]*rpc.Agent
+	clients map[string]*rpc.Client
+	injs    map[string]*faults.Injector
+	addrs   map[string]string
+	ctl     *controller.Remote
+}
+
+func newChaosNet(cfg ChaosConfig, faulty bool) *chaosNet {
+	topo, h1, h2 := topology.Linear(3)
+	n, err := netsim.New(topo, netsim.Config{Stages: 12, ArraySize: 1 << 14})
+	if err != nil {
+		panic(err)
+	}
+	cn := &chaosNet{
+		net: n, h1: h1, h2: h2, ids: topo.Switches(),
+		agents:  map[string]*rpc.Agent{},
+		clients: map[string]*rpc.Client{},
+		injs:    map[string]*faults.Injector{},
+		addrs:   map[string]string{},
+	}
+	for i, id := range cn.ids {
+		node := n.Node(id)
+		name := node.DP.ID
+		cn.names = append(cn.names, name)
+		agent := rpc.NewAgent(node.DP, node.Eng)
+		cn.agents[name] = agent
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		cn.addrs[name] = ln.Addr().String()
+		fc := faults.Config{Seed: cfg.Seed + int64(i)}
+		if faulty {
+			fc.ResetProb = cfg.ResetProb
+		}
+		inj := faults.New(fc)
+		cn.injs[name] = inj
+		go agent.Serve(inj.Listener(ln))
+
+		c, err := rpc.DialOptions(cn.addrs[name], rpc.Options{
+			Timeout: 2 * time.Second, Retries: 16,
+			BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+			Seed: cfg.Seed + int64(i),
+		})
+		if err != nil {
+			panic(err)
+		}
+		cn.clients[name] = c
+	}
+	cn.ctl = controller.NewRemote(cn.clients, cfg.Seed)
+	return cn
+}
+
+// restart kills the named agent and brings up a fresh one — empty
+// engine, same address — modeling a switch reboot that lost its
+// installed queries. The client's automatic redial finds the new
+// instance; Reconverge re-drives it to the recorded deploys.
+func (cn *chaosNet) restart(name string, id int) {
+	_ = cn.agents[name].Close()
+	node := cn.net.Node(id)
+	layout, err := modules.NewLayout(modules.LayoutCompact, 12, 1<<14)
+	if err != nil {
+		panic(err)
+	}
+	eng := modules.NewEngine(layout)
+	node.Layout, node.Eng = layout, eng
+	node.DP.Monitor = eng
+	agent := rpc.NewAgent(node.DP, eng)
+	cn.agents[name] = agent
+	ln, err := net.Listen("tcp", cn.addrs[name])
+	if err != nil {
+		panic(err)
+	}
+	go agent.Serve(cn.injs[name].Listener(ln))
+}
+
+func (cn *chaosNet) close() {
+	for _, c := range cn.clients {
+		c.Close()
+	}
+	for _, a := range cn.agents {
+		a.Close()
+	}
+}
+
+// run pushes the trace through the line hop by hop (rolling epochs on
+// the virtual clock), draining reports over the control channel as it
+// goes. When restartAt is positive, the middle switch's agent is killed
+// and restarted once the clock passes it, and the controller
+// reconverges the deployment.
+func (cn *chaosNet) run(tr *trace.Trace, restartAt uint64) (reports int, reinstalled bool) {
+	_, _, err := cn.ctl.InstallSharded(query.Q1(40), 1<<12, cn.names)
+	if err != nil {
+		panic(err)
+	}
+	restarted := restartAt == 0
+	mid, midID := cn.names[1], cn.ids[1]
+	drain := func() {
+		rs, err := cn.ctl.Collect()
+		if err != nil {
+			panic(err)
+		}
+		reports += len(rs)
+	}
+	for i, pkt := range tr.Packets {
+		if !restarted && pkt.TS >= restartAt {
+			drain() // reports already on the wire side survive the kill
+			cn.restart(mid, midID)
+			if err := cn.ctl.Reconverge(); err != nil {
+				panic(err)
+			}
+			restarted = true
+			reinstalled = agentInstalled(cn.clients[mid])
+		}
+		cn.net.Deliver(pkt, cn.h1, cn.h2)
+		if i%4096 == 4095 {
+			drain()
+		}
+	}
+	drain()
+	if restartAt == 0 {
+		reinstalled = true
+	}
+	return reports, reinstalled
+}
+
+func agentInstalled(c *rpc.Client) bool {
+	st, err := c.Stats()
+	return err == nil && st.Installed == 1
+}
+
+// ChaosRecovery reproduces the availability story end to end: the same
+// seeded SYN-flood trace runs through a 3-switch sharded Q1 deployment
+// twice — once fault-free, once with seeded connection resets on every
+// control channel plus a kill+restart of the middle switch's agent mid-
+// run. The drain cursor keeps report delivery exactly-once through the
+// resets, and Reconverge re-installs the lost shard, so the faulty run
+// stays within tolerance of the baseline: it can fall short by the
+// restarted shard's lost in-window state, or exceed it slightly when
+// the zeroed sketch re-detects a key that had already crossed its
+// threshold earlier in the same window.
+func ChaosRecovery(cfg ChaosConfig) *ChaosResult {
+	cfg = cfg.withDefaults()
+	tr := trace.Generate(trace.Config{Seed: cfg.Seed, Flows: cfg.Flows, Duration: cfg.Duration},
+		trace.SYNFlood{Victim: 0x0A0000AA, Packets: 600},
+		trace.SYNFlood{Victim: 0x0A0000AB, Packets: 600})
+
+	base := newChaosNet(cfg, false)
+	baseline, _ := base.run(tr, 0)
+	base.close()
+
+	faulty := newChaosNet(cfg, true)
+	got, reinstalled := faulty.run(tr, uint64(cfg.Duration)/2)
+	res := &ChaosResult{
+		Seed: cfg.Seed, Baseline: baseline, WithFaults: got,
+		ReinstalledOK: reinstalled,
+	}
+	for _, inj := range faulty.injs {
+		res.Resets += inj.Stats().Resets
+	}
+	for _, c := range faulty.clients {
+		res.Retries += c.Counters().Retries
+		res.Redials += c.Counters().Redials
+	}
+	faulty.close()
+	if baseline > 0 {
+		res.RecoveredPct = float64(got) / float64(baseline)
+	}
+	return res
+}
+
+// String renders the recovery summary.
+func (r *ChaosResult) String() string {
+	t := &table{header: []string{"Metric", "Value"}}
+	t.add("Seed", fmt.Sprintf("%d", r.Seed))
+	t.add("Baseline reports", i2s(r.Baseline))
+	t.add("With faults", i2s(r.WithFaults))
+	t.add("Recovered", fmt.Sprintf("%.0f%%", 100*r.RecoveredPct))
+	t.add("Injected resets", fmt.Sprintf("%d", r.Resets))
+	t.add("Client retries", fmt.Sprintf("%d", r.Retries))
+	t.add("Client redials", fmt.Sprintf("%d", r.Redials))
+	t.add("Reinstalled after restart", fmt.Sprintf("%v", r.ReinstalledOK))
+	return fmt.Sprintf("Chaos: sharded Q1 under control-plane faults + agent restart (recovery vs fault-free)\n%s", t.String())
+}

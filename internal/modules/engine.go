@@ -1,6 +1,7 @@
 package modules
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,6 +9,14 @@ import (
 	"github.com/newton-net/newton/internal/fields"
 	"github.com/newton-net/newton/internal/packet"
 	"github.com/newton-net/newton/internal/sketch"
+)
+
+// Typed install/remove outcomes, so control planes retrying over lossy
+// channels can recognize level-triggered states ("already there",
+// "already gone") without string matching.
+var (
+	ErrAlreadyInstalled = errors.New("already installed")
+	ErrNotInstalled     = errors.New("not installed")
 )
 
 // Engine executes the module layout over packets. It implements
@@ -148,7 +157,7 @@ func (e *Engine) InstalledCount() int { return len(e.installed) }
 func (e *Engine) Install(p *Program) (err error) {
 	key := progKey{p.QID, p.Part}
 	if _, dup := e.installed[key]; dup {
-		return fmt.Errorf("modules: query %d part %d already installed", p.QID, p.Part)
+		return fmt.Errorf("modules: query %d part %d %w", p.QID, p.Part, ErrAlreadyInstalled)
 	}
 	defer func() {
 		if err != nil {
@@ -231,7 +240,7 @@ func (e *Engine) Remove(qid int) error {
 		found = true
 	}
 	if !found {
-		return fmt.Errorf("modules: query %d not installed", qid)
+		return fmt.Errorf("modules: query %d %w", qid, ErrNotInstalled)
 	}
 	return nil
 }

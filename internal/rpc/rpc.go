@@ -26,8 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/modules"
@@ -47,6 +50,37 @@ var ErrFrameTooLarge = errors.New("rpc: frame exceeds size limit")
 // reply without stats).
 var ErrMalformedResponse = errors.New("rpc: malformed response: missing payload")
 
+// ErrClientClosed is returned by every call on a Client after Close —
+// including a call whose round trip was in flight when Close severed
+// the connection. It replaces the raw "use of closed network
+// connection" string the net package surfaces.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// Agent error codes: machine-checkable classifications of application
+// errors the agent returns, carried alongside the message so retrying
+// controllers can treat level-triggered outcomes ("the query is
+// already there", "it is already gone") as convergence, not failure.
+const (
+	CodeAlreadyInstalled = "already_installed"
+	CodeNotInstalled     = "not_installed"
+)
+
+// AgentError is an application-level error from the agent: the request
+// reached the agent and was rejected. It is never retried — the
+// connection stays healthy.
+type AgentError struct {
+	Code string // one of the Code* constants, or "" for uncategorized
+	Msg  string
+}
+
+func (e *AgentError) Error() string { return "rpc: agent: " + e.Msg }
+
+// IsAgentCode reports whether err is an AgentError with the given code.
+func IsAgentCode(err error, code string) bool {
+	var ae *AgentError
+	return errors.As(err, &ae) && ae.Code == code
+}
+
 // Message types.
 const (
 	typeInstall     = "install"
@@ -62,6 +96,20 @@ type Request struct {
 	Type    string           `json:"type"`
 	QID     int              `json:"qid,omitempty"`
 	Program *modules.Program `json:"program,omitempty"`
+
+	// ID identifies the logical call. A client reuses the same ID across
+	// retry attempts of one call, so the agent's replay cache can answer
+	// a retransmit with the original response instead of executing the
+	// operation twice (at-most-once execution under retries). Zero means
+	// "no replay protection" (hand-rolled or legacy peers).
+	ID uint64 `json:"id,omitempty"`
+
+	// DrainAck (drain_reports only) acknowledges the highest drain
+	// Cursor the client has received. The agent serves a fresh batch
+	// when the ack matches its cursor and re-delivers the previous batch
+	// when the ack trails by one — so a drain retried after a lost
+	// response never double-delivers and never loses reports.
+	DrainAck uint64 `json:"drain_ack,omitempty"`
 }
 
 // Stats is the agent's rule/program accounting.
@@ -80,12 +128,17 @@ type ExportStats struct {
 	Overflows uint64 `json:"overflows"` // ring-full events (blocks or drops)
 	Batches   uint64 `json:"batches"`   // report frames written
 	Snapshots uint64 `json:"snapshots"` // state-bank snapshot frames written
+
+	Reconnects uint64 `json:"reconnects,omitempty"` // analyzer streams re-established
 }
 
 // Response is one agent → controller message.
 type Response struct {
 	OK      bool               `json:"ok"`
 	Error   string             `json:"error,omitempty"`
+	Code    string             `json:"code,omitempty"` // machine-checkable error class
+	ID      uint64             `json:"id,omitempty"`   // echo of the request ID
+	Cursor  uint64             `json:"cursor,omitempty"`
 	Stats   *Stats             `json:"stats,omitempty"`
 	Export  *ExportStats       `json:"export,omitempty"`
 	Reports []dataplane.Report `json:"reports,omitempty"`
@@ -158,11 +211,39 @@ type Agent struct {
 	closed    bool
 	connErrs  uint64
 	servingWG sync.WaitGroup
+
+	// Replay cache (under mu): responses to recently executed requests
+	// by request ID, so a retransmitted call — same ID, usually on a
+	// fresh connection after a redial — is answered from cache instead
+	// of executed twice. Bounded FIFO.
+	replay     map[uint64]*Response
+	replayFIFO []uint64
+
+	// Drain cursor (under mu): how many fresh drains have been served,
+	// and the last batch for re-delivery when the client's ack shows it
+	// never received the previous response.
+	drainSeq  uint64
+	lastDrain []dataplane.Report
 }
+
+// replayCap bounds the replay cache. Retransmits arrive within a few
+// RTTs of the original; anything older has aged out of relevance.
+const replayCap = 256
 
 // NewAgent wraps a switch and its module engine.
 func NewAgent(sw *dataplane.Switch, eng *modules.Engine) *Agent {
-	return &Agent{sw: sw, eng: eng, conns: map[net.Conn]struct{}{}}
+	return &Agent{sw: sw, eng: eng, conns: map[net.Conn]struct{}{},
+		replay: map[uint64]*Response{}}
+}
+
+// SetTelemetryHooks installs (or, with nils, removes) the telemetry
+// exporter's epoch and stats hooks under the dispatch lock, so they may
+// be swapped while the agent is serving.
+func (a *Agent) SetTelemetryHooks(onEpoch func(), exportStats func() ExportStats) {
+	a.mu.Lock()
+	a.OnEpoch = onEpoch
+	a.ExportStatsFn = exportStats
+	a.mu.Unlock()
 }
 
 // Serve accepts controller connections until the listener closes (or
@@ -297,18 +378,52 @@ func (a *Agent) Close() error {
 func (a *Agent) dispatch(req *Request) *Response {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if req.ID != 0 {
+		if cached, ok := a.replay[req.ID]; ok {
+			// A retransmit of a call that already executed: replay the
+			// original response instead of running the op twice.
+			return cached
+		}
+	}
+	resp := a.execute(req)
+	resp.ID = req.ID
+	if req.ID != 0 {
+		if len(a.replayFIFO) >= replayCap {
+			delete(a.replay, a.replayFIFO[0])
+			a.replayFIFO = a.replayFIFO[1:]
+		}
+		a.replay[req.ID] = resp
+		a.replayFIFO = append(a.replayFIFO, req.ID)
+	}
+	return resp
+}
+
+// errResponse classifies an engine error so retrying controllers can
+// distinguish level-triggered outcomes from real failures.
+func errResponse(err error) *Response {
+	resp := &Response{Error: err.Error()}
+	if errors.Is(err, modules.ErrAlreadyInstalled) {
+		resp.Code = CodeAlreadyInstalled
+	} else if errors.Is(err, modules.ErrNotInstalled) {
+		resp.Code = CodeNotInstalled
+	}
+	return resp
+}
+
+// execute runs one request under the dispatch lock.
+func (a *Agent) execute(req *Request) *Response {
 	switch req.Type {
 	case typeInstall:
 		if req.Program == nil {
 			return &Response{Error: "install without program"}
 		}
 		if err := a.eng.Install(req.Program); err != nil {
-			return &Response{Error: err.Error()}
+			return errResponse(err)
 		}
 		return &Response{OK: true}
 	case typeRemove:
 		if err := a.eng.Remove(req.QID); err != nil {
-			return &Response{Error: err.Error()}
+			return errResponse(err)
 		}
 		return &Response{OK: true}
 	case typeStats:
@@ -317,7 +432,7 @@ func (a *Agent) dispatch(req *Request) *Response {
 			Installed:   a.eng.InstalledCount(),
 		}}
 	case typeDrain:
-		return &Response{OK: true, Reports: a.sw.DrainReports()}
+		return a.drain(req)
 	case typeEpoch:
 		if a.OnEpoch != nil {
 			a.OnEpoch()
@@ -334,41 +449,295 @@ func (a *Agent) dispatch(req *Request) *Response {
 	return &Response{Error: fmt.Sprintf("unknown request type %q", req.Type)}
 }
 
-// Client is the controller-side endpoint.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+// drain serves drain_reports under the cursor discipline: an ack equal
+// to the current cursor means the previous batch arrived, so the switch
+// buffer is drained afresh; an ack one behind means the previous
+// response was lost in flight, so that batch is re-delivered unchanged.
+// Any other ack (an agent restart, or a client resync) serves fresh and
+// jumps the cursor past the ack. The cursor assumes a single draining
+// controller per agent, which is the deployment shape.
+func (a *Agent) drain(req *Request) *Response {
+	switch {
+	case req.DrainAck == a.drainSeq:
+		a.lastDrain = a.sw.DrainReports()
+		a.drainSeq++
+	case req.DrainAck == a.drainSeq-1:
+		// Re-delivery: the client never saw the cursor advance.
+	default:
+		a.lastDrain = a.sw.DrainReports()
+		if req.DrainAck > a.drainSeq {
+			a.drainSeq = req.DrainAck
+		}
+		a.drainSeq++
+	}
+	return &Response{OK: true, Reports: a.lastDrain, Cursor: a.drainSeq}
 }
 
-// Dial connects to an agent's TCP address.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Options harden a Client against an imperfect network. The zero value
+// reproduces the original behavior: no deadlines, no retries, no
+// redial.
+type Options struct {
+	// Timeout bounds each attempt's write and read via the connection's
+	// SetWriteDeadline/SetReadDeadline (0 = no deadline). A stalled
+	// agent therefore cannot block a call past Timeout per attempt.
+	Timeout time.Duration
+
+	// Retries is how many additional attempts follow a transient
+	// transport failure (resets, timeouts, torn frames). Application
+	// errors from the agent are never retried. Every client operation
+	// is retry-safe: the agent's replay cache deduplicates by request
+	// ID and drains carry an explicit cursor.
+	Retries int
+
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between attempts (defaults 10ms and 1s). Each sleep is jittered
+	// to half-to-full of the nominal step.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Seed drives the backoff jitter (deterministic tests).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	return o
+}
+
+// Counters is the client's running reliability accounting.
+type Counters struct {
+	Retries uint64 // attempts beyond the first
+	Redials uint64 // connections re-established
+}
+
+// Client is the controller-side endpoint.
+type Client struct {
+	mu   sync.Mutex // serializes round trips
+	opts Options
+	rng  *rand.Rand
+
+	redial func() (net.Conn, error)
+
+	// stateMu guards conn and closed so Close can sever an in-flight
+	// round trip without waiting for mu.
+	stateMu sync.Mutex
+	conn    net.Conn
+	closed  bool
+	closeCh chan struct{}
+
+	drainAck uint64 // highest drain cursor received (under mu)
+
+	retries uint64
+	redials uint64
+}
+
+// reqSeq hands out process-unique request IDs; reqNonce separates
+// clients in different processes talking to the same agent.
+var (
+	reqSeq   uint64
+	reqNonce = uint64(rand.Uint32()) << 32
+)
+
+func nextReqID() uint64 { return reqNonce | (atomic.AddUint64(&reqSeq, 1) & 0xFFFFFFFF) }
+
+// Dial connects to an agent's TCP address with zero Options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to an agent's TCP address with the given
+// hardening options; transient failures redial the same address.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	redial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	conn, err := redial()
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dialing agent: %w", err)
 	}
-	return NewClient(conn), nil
+	return NewClientOptions(conn, opts, redial), nil
 }
 
-// NewClient wraps an established connection (e.g. one end of net.Pipe).
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+// NewClient wraps an established connection (e.g. one end of net.Pipe)
+// with zero Options.
+func NewClient(conn net.Conn) *Client { return NewClientOptions(conn, Options{}, nil) }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// NewClientOptions wraps an established connection with hardening
+// options. redial, when non-nil, re-establishes the transport after a
+// transient failure (between attempts and across calls).
+func NewClientOptions(conn net.Conn, opts Options, redial func() (net.Conn, error)) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		conn: conn, opts: opts, redial: redial,
+		rng:     rand.New(rand.NewSource(opts.Seed + 1)),
+		closeCh: make(chan struct{}),
+	}
+}
+
+// Close severs the connection — including one with a round trip in
+// flight, which then fails with ErrClientClosed — and makes every
+// subsequent call fail fast with ErrClientClosed.
+func (c *Client) Close() error {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	close(c.closeCh)
+	c.stateMu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// Counters returns the retry/redial accounting.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Retries: atomic.LoadUint64(&c.retries),
+		Redials: atomic.LoadUint64(&c.redials),
+	}
+}
+
+// isClosed reports whether Close has run.
+func (c *Client) isClosed() bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.closed
+}
+
+// currentConn returns the live connection, redialing if the previous
+// one was torn down. It returns ErrClientClosed after Close.
+func (c *Client) currentConn() (net.Conn, error) {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		conn := c.conn
+		c.stateMu.Unlock()
+		return conn, nil
+	}
+	c.stateMu.Unlock()
+	if c.redial == nil {
+		return nil, errors.New("rpc: connection lost and no redial configured")
+	}
+	conn, err := c.redial()
+	if err != nil {
+		return nil, err
+	}
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		conn.Close()
+		return nil, ErrClientClosed
+	}
+	c.conn = conn
+	c.stateMu.Unlock()
+	atomic.AddUint64(&c.redials, 1)
+	return conn, nil
+}
+
+// dropConn tears down the connection after a transport failure so the
+// next attempt starts on a fresh dial.
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.stateMu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.stateMu.Unlock()
+}
+
+// permanent reports whether a transport error cannot be cured by a
+// retry (oversized or unencodable frames are deterministic).
+func permanent(err error) bool {
+	return errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrMalformedResponse)
+}
+
+// attempt runs one write/read exchange on conn under the per-attempt
+// deadline. Any returned error is transport-level.
+func (c *Client) attempt(conn net.Conn, req *Request) (*Response, error) {
+	if c.opts.Timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(c.opts.Timeout))
+	}
+	if err := WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	if c.opts.Timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(c.opts.Timeout))
+	}
+	var resp Response
+	if err := ReadFrame(conn, &resp); err != nil {
+		return nil, err
+	}
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	if resp.ID != 0 && resp.ID != req.ID {
+		// A late response to an earlier (timed-out) request: the stream
+		// is desynchronized beyond repair — tear it down and retry.
+		return nil, fmt.Errorf("rpc: response for request %d on call %d: stream desynchronized", resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+// roundTripLocked performs one logical call with deadlines, retries,
+// and redial. The caller holds c.mu. The request keeps one ID across
+// every attempt, so the agent's replay cache makes retries exactly-once.
+func (c *Client) roundTripLocked(req *Request) (*Response, error) {
+	req.ID = nextReqID()
+	backoff := c.opts.BackoffBase
+	for attempt := 0; ; attempt++ {
+		if c.isClosed() {
+			return nil, ErrClientClosed
+		}
+		conn, err := c.currentConn()
+		if err == nil {
+			var resp *Response
+			resp, err = c.attempt(conn, req)
+			if err == nil {
+				if !resp.OK {
+					return nil, &AgentError{Code: resp.Code, Msg: resp.Error}
+				}
+				return resp, nil
+			}
+			if c.isClosed() {
+				return nil, ErrClientClosed
+			}
+			if permanent(err) {
+				return nil, err
+			}
+			c.dropConn(conn)
+		} else if errors.Is(err, ErrClientClosed) {
+			return nil, err
+		}
+		if attempt >= c.opts.Retries {
+			return nil, err
+		}
+		atomic.AddUint64(&c.retries, 1)
+		// Capped exponential backoff, jittered to half-to-full.
+		sleep := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+		select {
+		case <-time.After(sleep):
+		case <-c.closeCh:
+			return nil, ErrClientClosed
+		}
+		if backoff *= 2; backoff > c.opts.BackoffMax {
+			backoff = c.opts.BackoffMax
+		}
+	}
+}
 
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, req); err != nil {
-		return nil, err
-	}
-	var resp Response
-	if err := ReadFrame(c.conn, &resp); err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, fmt.Errorf("rpc: agent: %s", resp.Error)
-	}
-	return &resp, nil
+	return c.roundTripLocked(req)
 }
 
 // Install loads a compiled program into the remote engine.
@@ -407,12 +776,18 @@ func (c *Client) ExportStats() (ExportStats, error) {
 	return *resp.Export, nil
 }
 
-// DrainReports pulls and clears the remote report buffer.
+// DrainReports pulls and clears the remote report buffer. The call is
+// retry-safe: the drain cursor acknowledges each received batch, so a
+// drain retried after a lost response re-delivers that batch instead of
+// dropping it or delivering it twice.
 func (c *Client) DrainReports() ([]dataplane.Report, error) {
-	resp, err := c.roundTrip(&Request{Type: typeDrain})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTripLocked(&Request{Type: typeDrain, DrainAck: c.drainAck})
 	if err != nil {
 		return nil, err
 	}
+	c.drainAck = resp.Cursor
 	return resp.Reports, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/modules"
@@ -21,6 +22,16 @@ type ExporterConfig struct {
 	BatchSize int
 	// Policy picks the overflow behavior when the ring fills.
 	Policy Policy
+
+	// Redial, when set, enables auto-reconnect: after a stream error the
+	// exporter keeps monitoring (reports are dropped and counted, never
+	// blocked on), while a background loop redials with backoff. On
+	// success it replays the hello and the latest epoch snapshot so the
+	// analyzer resumes with current state. Dial sets this automatically.
+	Redial func() (net.Conn, error)
+	// ReconnectMin/Max bound the redial backoff (defaults 50ms / 2s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
 }
 
 func (c ExporterConfig) withDefaults() ExporterConfig {
@@ -29,6 +40,12 @@ func (c ExporterConfig) withDefaults() ExporterConfig {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = 50 * time.Millisecond
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = 2 * time.Second
 	}
 	return c
 }
@@ -44,20 +61,36 @@ type Exporter struct {
 	conn net.Conn
 	ring *ring
 
-	writeMu sync.Mutex // serializes frames on the stream
+	writeMu sync.Mutex // serializes frames on the stream; guards conn swap
 
-	mu        sync.Mutex
-	idle      *sync.Cond
-	enqueued  uint64 // reports offered to Export
-	exported  uint64 // reports written to the stream
-	lost      uint64 // reports lost to stream errors or late Export calls
-	batches   uint64
-	snapshots uint64
-	writeErr  error
-	closed    bool
-	writerEnd bool
+	mu           sync.Mutex
+	idle         *sync.Cond
+	enqueued     uint64 // reports offered to Export
+	exported     uint64 // reports written to the stream
+	lost         uint64 // reports lost to stream errors or late Export calls
+	batches      uint64
+	snapshots    uint64
+	reconnects   uint64
+	writeErr     error
+	closed       bool
+	writerEnd    bool
+	reconnecting bool
 
-	wg sync.WaitGroup
+	// Latest epoch snapshot, cached for replay after a reconnect: the
+	// analyzer's merge resumes from the switch's current state instead of
+	// waiting a full window for the next roll.
+	lastSnapEpoch uint32
+	lastSnapBanks []modules.BankSnapshot
+	hasSnap       bool
+
+	// agent, when attached, serves this exporter's counters and epoch
+	// hooks on the control channel; kept so Close (and construction
+	// failures) can detach rather than leave the agent calling into a
+	// dead exporter.
+	agent *rpc.Agent
+
+	closeCh chan struct{} // interrupts reconnect backoff
+	wg      sync.WaitGroup
 }
 
 // NewExporter starts an exporter over an established connection (TCP to
@@ -66,9 +99,10 @@ type Exporter struct {
 func NewExporter(conn net.Conn, cfg ExporterConfig) (*Exporter, error) {
 	cfg = cfg.withDefaults()
 	e := &Exporter{
-		cfg:  cfg,
-		conn: conn,
-		ring: newRing(cfg.RingSize, cfg.Policy),
+		cfg:     cfg,
+		conn:    conn,
+		ring:    newRing(cfg.RingSize, cfg.Policy),
+		closeCh: make(chan struct{}),
 	}
 	e.idle = sync.NewCond(&e.mu)
 	if err := rpc.WriteFrame(conn, &Frame{Type: FrameHello, SwitchID: cfg.SwitchID}); err != nil {
@@ -80,17 +114,34 @@ func NewExporter(conn net.Conn, cfg ExporterConfig) (*Exporter, error) {
 }
 
 // Dial connects to an analyzer service and starts an exporter on the
-// stream.
+// stream. The exporter auto-reconnects to addr after stream errors
+// (cfg.Redial is filled in when unset).
 func Dial(addr string, cfg ExporterConfig) (*Exporter, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: dialing analyzer: %w", err)
+	}
+	if cfg.Redial == nil {
+		cfg.Redial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
 	e, err := NewExporter(conn, cfg)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
+	return e, nil
+}
+
+// DialAttached dials an analyzer and wires the exporter into a control
+// agent in one step; on any failure the agent's telemetry hooks are
+// detached so it never calls into a half-built exporter.
+func DialAttached(addr string, cfg ExporterConfig, a *rpc.Agent, eng *modules.Engine) (*Exporter, error) {
+	e, err := Dial(addr, cfg)
+	if err != nil {
+		a.SetTelemetryHooks(nil, nil)
+		return nil, err
+	}
+	e.AttachAgent(a, eng)
 	return e, nil
 }
 
@@ -113,7 +164,8 @@ func (e *Exporter) Export(rs []dataplane.Report) {
 // writer drains the ring and pushes report frames until the ring closes
 // and empties. After a stream error it keeps draining — counting the
 // undeliverable reports as lost — so block-policy producers never
-// deadlock on a dead analyzer.
+// deadlock on a dead analyzer; if a redialer is configured the drops
+// stop once the background reconnect restores the stream.
 func (e *Exporter) writer() {
 	defer e.wg.Done()
 	buf := make([]dataplane.Report, 0, e.cfg.BatchSize)
@@ -132,9 +184,7 @@ func (e *Exporter) writer() {
 		e.mu.Lock()
 		switch {
 		case dead || err != nil:
-			if err != nil && e.writeErr == nil {
-				e.writeErr = err
-			}
+			e.noteWriteErrLocked(err)
 			e.lost += uint64(len(batch))
 		default:
 			e.exported += uint64(len(batch))
@@ -155,19 +205,98 @@ func (e *Exporter) writeFrame(f *Frame) error {
 	return rpc.WriteFrame(e.conn, f)
 }
 
+// noteWriteErrLocked records a stream error (first one wins) and, when
+// a redialer is configured, starts the background reconnect if one is
+// not already running. Callers hold e.mu.
+func (e *Exporter) noteWriteErrLocked(err error) {
+	if err != nil && e.writeErr == nil {
+		e.writeErr = err
+	}
+	if e.cfg.Redial == nil || e.reconnecting || e.closed {
+		return
+	}
+	e.reconnecting = true
+	e.wg.Add(1)
+	go e.reconnectLoop()
+}
+
+// reconnectLoop redials the analyzer with capped exponential backoff.
+// On success it sends a fresh hello, replays the latest cached epoch
+// snapshot (so the analyzer's merge resumes from current state instead
+// of waiting a full window), swaps the stream, and clears the error so
+// the writer resumes exporting.
+func (e *Exporter) reconnectLoop() {
+	defer e.wg.Done()
+	backoff := e.cfg.ReconnectMin
+	for {
+		select {
+		case <-e.closeCh:
+			e.mu.Lock()
+			e.reconnecting = false
+			e.mu.Unlock()
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > e.cfg.ReconnectMax {
+			backoff = e.cfg.ReconnectMax
+		}
+		conn, err := e.cfg.Redial()
+		if err != nil {
+			continue
+		}
+		e.mu.Lock()
+		epoch, banks, replay := e.lastSnapEpoch, e.lastSnapBanks, e.hasSnap
+		e.mu.Unlock()
+		if err := rpc.WriteFrame(conn, &Frame{Type: FrameHello, SwitchID: e.cfg.SwitchID}); err != nil {
+			conn.Close()
+			continue
+		}
+		if replay {
+			if err := rpc.WriteFrame(conn, &Frame{
+				Type: FrameSnapshot, SwitchID: e.cfg.SwitchID, Epoch: epoch, Snapshots: banks,
+			}); err != nil {
+				conn.Close()
+				continue
+			}
+		}
+		e.writeMu.Lock()
+		old := e.conn
+		e.conn = conn
+		e.writeMu.Unlock()
+		old.Close()
+		e.mu.Lock()
+		e.writeErr = nil
+		e.reconnecting = false
+		e.reconnects++
+		if replay {
+			e.snapshots++
+		}
+		e.idle.Broadcast()
+		e.mu.Unlock()
+		return
+	}
+}
+
 // ExportSnapshot pushes an epoch-boundary state-bank snapshot frame.
 // Snapshots bypass the report ring: they are epoch-rate (one frame per
 // window), must not be dropped (the analyzer's merge is only correct
 // over complete epochs), and are written synchronously so the caller's
 // epoch roll orders after the capture.
 func (e *Exporter) ExportSnapshot(epoch uint32, banks []modules.BankSnapshot) error {
+	// Cache first: if this write fails (or the stream is already down),
+	// the reconnect replays the freshest state the switch had.
+	e.mu.Lock()
+	e.lastSnapEpoch, e.lastSnapBanks, e.hasSnap = epoch, banks, true
+	degraded := e.writeErr
+	e.mu.Unlock()
+	if degraded != nil {
+		return fmt.Errorf("telemetry: snapshot while stream down: %w", degraded)
+	}
 	if err := e.writeFrame(&Frame{
 		Type: FrameSnapshot, SwitchID: e.cfg.SwitchID, Epoch: epoch, Snapshots: banks,
 	}); err != nil {
 		e.mu.Lock()
-		if e.writeErr == nil {
-			e.writeErr = err
-		}
+		e.noteWriteErrLocked(err)
 		e.mu.Unlock()
 		return fmt.Errorf("telemetry: snapshot: %w", err)
 	}
@@ -191,10 +320,24 @@ func (e *Exporter) ExportEpoch(eng *modules.Engine) error {
 // AttachAgent wires the exporter into a control-channel agent: epoch
 // ticks from the controller snapshot-and-push the ending window's banks
 // before rolling, and the agent serves the exporter's counters on the
-// control channel's export_stats request.
+// control channel's export_stats request. Close detaches the hooks.
 func (e *Exporter) AttachAgent(a *rpc.Agent, eng *modules.Engine) {
-	a.OnEpoch = func() { _ = e.ExportEpoch(eng) }
-	a.ExportStatsFn = e.Stats
+	e.mu.Lock()
+	e.agent = a
+	e.mu.Unlock()
+	a.SetTelemetryHooks(func() { _ = e.ExportEpoch(eng) }, e.Stats)
+}
+
+// Detach removes this exporter's hooks from the attached agent (if
+// any), so epoch ticks no longer call into it.
+func (e *Exporter) Detach() {
+	e.mu.Lock()
+	a := e.agent
+	e.agent = nil
+	e.mu.Unlock()
+	if a != nil {
+		a.SetTelemetryHooks(nil, nil)
+	}
 }
 
 // Flush blocks until everything offered to Export so far has been
@@ -219,12 +362,13 @@ func (e *Exporter) Stats() rpc.ExportStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return rpc.ExportStats{
-		Enqueued:  e.enqueued,
-		Exported:  e.exported,
-		Dropped:   dropped + e.lost,
-		Overflows: overflows,
-		Batches:   e.batches,
-		Snapshots: e.snapshots,
+		Enqueued:   e.enqueued,
+		Exported:   e.exported,
+		Dropped:    dropped + e.lost,
+		Overflows:  overflows,
+		Batches:    e.batches,
+		Snapshots:  e.snapshots,
+		Reconnects: e.reconnects,
 	}
 }
 
@@ -235,9 +379,10 @@ func (e *Exporter) Err() error {
 	return e.writeErr
 }
 
-// Close drains the ring (flushing every queued report), sends a bye
-// frame with final counters, and closes the stream. Under PolicyBlock
-// nothing offered before Close is lost unless the stream itself died.
+// Close detaches any agent hooks, drains the ring (flushing every
+// queued report), sends a bye frame with final counters, and closes the
+// stream. Under PolicyBlock nothing offered before Close is lost unless
+// the stream itself died.
 func (e *Exporter) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -246,13 +391,17 @@ func (e *Exporter) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	e.Detach()
+	close(e.closeCh) // stop any in-flight reconnect backoff
 
 	e.ring.close()
-	e.wg.Wait() // writer drains all pending reports
+	e.wg.Wait() // writer drains all pending reports; reconnector exits
 
 	st := e.Stats()
 	_ = e.writeFrame(&Frame{Type: FrameBye, SwitchID: e.cfg.SwitchID, Stats: &st})
+	e.writeMu.Lock()
 	err := e.conn.Close()
+	e.writeMu.Unlock()
 	e.mu.Lock()
 	werr := e.writeErr
 	e.mu.Unlock()

@@ -1,0 +1,237 @@
+package telemetry_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/sketch"
+	"github.com/newton-net/newton/internal/telemetry"
+)
+
+func cmsBank(qid int, values ...uint32) modules.BankSnapshot {
+	return modules.BankSnapshot{
+		QueryID: qid, Kind: modules.BankCMSRow, Algo: sketch.CRC32IEEE, Range: 1 << 16,
+		Width: uint32(len(values)), Values: values,
+	}
+}
+
+// TestExporterReconnectsAndReplaysSnapshot is the agent-survives-analyzer-
+// outage contract: an agent that loses its analyzer keeps monitoring,
+// accounts every undeliverable report in its ExportStats, and when the
+// analyzer comes back it resumes the push — opening with its latest
+// epoch snapshot — without a restart.
+func TestExporterReconnectsAndReplaysSnapshot(t *testing.T) {
+	svc1 := telemetry.NewService(telemetry.ServiceConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go svc1.Serve(ln)
+	addr := ln.Addr().String()
+
+	exp, err := telemetry.Dial(addr, telemetry.ExporterConfig{
+		SwitchID: "s1", Policy: telemetry.PolicyDropOldest,
+		ReconnectMin: 5 * time.Millisecond, ReconnectMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	exp.Export([]dataplane.Report{report(1, 10, 42)})
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.ExportSnapshot(3, []modules.BankSnapshot{cmsBank(1, 1, 2, 3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first snapshot ingested", func() bool { return svc1.Stats().Snapshots == 1 })
+
+	// Analyzer dies. The switch keeps producing: reports must not block
+	// the packet path, and every loss must be accounted.
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "exporter notices dead stream", func() bool {
+		exp.Export([]dataplane.Report{report(1, 20, 43)})
+		exp.Flush()
+		return exp.Stats().Dropped > 0
+	})
+	// The epoch roll during the outage can't be delivered, but it must
+	// refresh the replay cache.
+	if err := exp.ExportSnapshot(4, []modules.BankSnapshot{cmsBank(1, 5, 6, 7, 8)}); err == nil {
+		t.Fatal("snapshot during outage reported success")
+	}
+	st := exp.Stats()
+	if st.Enqueued != st.Exported+st.Dropped {
+		t.Fatalf("loss not accounted: enqueued=%d exported=%d dropped=%d",
+			st.Enqueued, st.Exported, st.Dropped)
+	}
+
+	// Analyzer returns at the same address.
+	svc2 := telemetry.NewService(telemetry.ServiceConfig{})
+	defer svc2.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go svc2.Serve(ln2)
+
+	// The exporter reconnects on its own and opens with the latest
+	// cached snapshot (epoch 4, not the already-delivered epoch 3).
+	waitFor(t, "snapshot replayed to new analyzer", func() bool { return svc2.Stats().Snapshots == 1 })
+	if got := exp.Stats().Reconnects; got != 1 {
+		t.Errorf("Reconnects = %d, want 1", got)
+	}
+	rows := svc2.MergedRows(1, 0, 4)
+	if len(rows) != 1 || rows[0].Values[0] != 5 {
+		t.Fatalf("replayed rows = %+v, want epoch-4 bank", rows)
+	}
+
+	// And the push resumes: fresh reports land at the new analyzer.
+	dropped := exp.Stats().Dropped
+	exp.Export([]dataplane.Report{report(1, 30, 44)})
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-reconnect report ingested", func() bool { return svc2.Stats().Reports == 1 })
+	if d := exp.Stats().Dropped; d != dropped {
+		t.Errorf("post-reconnect export dropped %d more reports", d-dropped)
+	}
+}
+
+// TestPartialEpochNamesMissingSwitch: a merged (query, epoch) whose
+// expected contributor set is not fully covered is flagged Partial with
+// the missing switches named — it never poses as the network-wide view.
+func TestPartialEpochNamesMissingSwitch(t *testing.T) {
+	svc := telemetry.NewService(telemetry.ServiceConfig{})
+	defer svc.Close()
+	svc.SetExpected(1, []string{"a", "b"})
+
+	expA := connect(t, svc, "a", telemetry.ExporterConfig{}, nil)
+	defer expA.Close()
+	if err := expA.ExportSnapshot(0, []modules.BankSnapshot{cmsBank(1, 9, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "a's snapshot merged", func() bool { return svc.Stats().Snapshots == 1 })
+
+	partial, missing, merged := svc.EpochStatus(1, 0)
+	if !partial || merged != 1 {
+		t.Fatalf("EpochStatus = partial=%v merged=%d, want partial with 1 contribution", partial, merged)
+	}
+	if len(missing) != 1 || missing[0] != "b" {
+		t.Fatalf("missing = %v, want [b]", missing)
+	}
+	rows := svc.MergedRows(1, 0, 0)
+	if len(rows) != 1 || !rows[0].Partial {
+		t.Fatalf("merged rows not flagged partial: %+v", rows)
+	}
+	if len(rows[0].Missing) != 1 || rows[0].Missing[0] != "b" {
+		t.Fatalf("rows[0].Missing = %v, want [b]", rows[0].Missing)
+	}
+
+	// Once b contributes, the epoch is complete.
+	expB := connect(t, svc, "b", telemetry.ExporterConfig{}, nil)
+	defer expB.Close()
+	if err := expB.ExportSnapshot(0, []modules.BankSnapshot{cmsBank(1, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "b's snapshot merged", func() bool { return svc.Stats().Snapshots == 2 })
+	if partial, missing, _ := svc.EpochStatus(1, 0); partial || len(missing) != 0 {
+		t.Fatalf("complete epoch still partial (missing=%v)", missing)
+	}
+	if rows := svc.MergedRows(1, 0, 0); rows[0].Partial {
+		t.Fatal("complete epoch rows still flagged partial")
+	}
+}
+
+// TestEpochGapAndLivenessTracking: the service counts skipped snapshot
+// epochs per agent and tracks stream liveness across a reconnect.
+func TestEpochGapAndLivenessTracking(t *testing.T) {
+	svc := telemetry.NewService(telemetry.ServiceConfig{})
+	defer svc.Close()
+
+	exp := connect(t, svc, "a", telemetry.ExporterConfig{}, nil)
+	if err := exp.ExportSnapshot(1, []modules.BankSnapshot{cmsBank(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Epochs 2..4 never arrive (the exporter was down); 5 shows up.
+	if err := exp.ExportSnapshot(5, []modules.BankSnapshot{cmsBank(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "snapshots merged", func() bool { return svc.Stats().Snapshots == 2 })
+	if gaps := svc.Stats().EpochGaps; gaps != 3 {
+		t.Errorf("EpochGaps = %d, want 3 (epochs 2,3,4)", gaps)
+	}
+
+	if _, connected, ok := svc.AgentLiveness("a"); !ok || !connected {
+		t.Fatalf("liveness(a) = connected=%v ok=%v, want connected", connected, ok)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "stream down", func() bool {
+		_, connected, ok := svc.AgentLiveness("a")
+		return ok && !connected
+	})
+
+	// A second stream under the same switch ID is a reconnect.
+	exp2 := connect(t, svc, "a", telemetry.ExporterConfig{}, nil)
+	defer exp2.Close()
+	waitFor(t, "stream back up", func() bool {
+		_, connected, _ := svc.AgentLiveness("a")
+		return connected
+	})
+	if rc := svc.Stats().Reconnects; rc != 1 {
+		t.Errorf("service Reconnects = %d, want 1", rc)
+	}
+	if live := svc.Stats().LiveAgents; live != 1 {
+		t.Errorf("LiveAgents = %d, want 1", live)
+	}
+}
+
+// TestDetachOnCloseAndFailedConstruction (satellite): an exporter
+// detaches its agent hooks on Close, and DialAttached never leaves a
+// dead exporter wired into the agent's epoch path.
+func TestDetachOnCloseAndFailedConstruction(t *testing.T) {
+	layout, err := modules.NewLayout(modules.LayoutCompact, 16, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := modules.NewEngine(layout)
+	sw := dataplane.NewSwitch("s1", 4, modules.StageCapacity())
+	agent := rpc.NewAgent(sw, eng)
+
+	svc := telemetry.NewService(telemetry.ServiceConfig{})
+	defer svc.Close()
+	exp := connect(t, svc, "s1", telemetry.ExporterConfig{}, nil)
+	exp.AttachAgent(agent, eng)
+	if agent.OnEpoch == nil || agent.ExportStatsFn == nil {
+		t.Fatal("AttachAgent did not set hooks")
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.OnEpoch != nil || agent.ExportStatsFn != nil {
+		t.Error("Close left telemetry hooks attached")
+	}
+
+	// A failed dial must leave the agent clean too.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	agent.SetTelemetryHooks(func() {}, nil)
+	if _, err := telemetry.DialAttached(deadAddr, telemetry.ExporterConfig{SwitchID: "s1"}, agent, eng); err == nil {
+		t.Fatal("DialAttached to a dead address succeeded")
+	}
+	if agent.OnEpoch != nil {
+		t.Error("failed DialAttached left stale hooks attached")
+	}
+}

@@ -59,6 +59,14 @@ type MergedBank struct {
 	// the registers' 32 bits.
 	Values   []uint64
 	Switches []string // switch IDs merged in, in arrival order
+
+	// Partial provenance, filled when the bank is read back (MergedRows):
+	// true when an expected switch contributed no snapshot for this
+	// epoch, with the missing switches named. A partial merge
+	// undercounts every key the missing member owns — consumers must
+	// treat it as a lower bound, never as the network-wide truth.
+	Partial bool
+	Missing []string
 }
 
 // slot computes the key's index in the merged row, replaying the
@@ -107,6 +115,21 @@ type agentInfo struct {
 	Reports   uint64
 	Snapshots uint64
 	Bye       *rpc.ExportStats // final counters, once the agent said bye
+
+	// Liveness: when the agent's stream last produced a frame, and how
+	// many streams it currently has open (normally 0 or 1; an exporter
+	// reconnect can briefly overlap).
+	LastSeen time.Time
+	Streams  int
+	everUp   bool
+
+	// Epoch-gap detection: the highest snapshot epoch seen, and how
+	// many epochs were skipped (a reset exporter re-syncs at its
+	// current epoch; everything between is telemetry that never
+	// arrived).
+	lastEpoch uint32
+	hasEpoch  bool
+	Gaps      uint64
 }
 
 // Service is the analyzer-side half of the telemetry plane: a
@@ -127,6 +150,14 @@ type Service struct {
 	merged map[bankKey]map[uint32]*MergedBank // bank -> epoch -> merge
 	epochs map[uint32]bool                    // epochs seen (for pruning order)
 
+	// Partial-epoch bookkeeping: which switches are expected to
+	// contribute snapshots per query (set explicitly by the controller
+	// for sharded deploys, otherwise learned from who has contributed),
+	// and which actually did per (query, epoch).
+	expected map[int]map[string]bool
+	pinned   map[int]bool // expected[qid] was set explicitly; stop learning
+	contrib  map[int]map[uint32]map[string]bool
+
 	seen    map[alertKey]bool
 	pending []dataplane.Report // deduped alerts not yet drained
 	subs    map[int]chan Event
@@ -136,18 +167,23 @@ type Service struct {
 	dupAlerts      uint64
 	totalSnapshots uint64
 	subDropped     uint64
+	reconnects     uint64
+	epochGaps      uint64
 }
 
 // NewService builds an analyzer service.
 func NewService(cfg ServiceConfig) *Service {
 	return &Service{
-		cfg:    cfg.withDefaults(),
-		conns:  map[net.Conn]struct{}{},
-		agents: map[string]*agentInfo{},
-		merged: map[bankKey]map[uint32]*MergedBank{},
-		epochs: map[uint32]bool{},
-		seen:   map[alertKey]bool{},
-		subs:   map[int]chan Event{},
+		cfg:      cfg.withDefaults(),
+		conns:    map[net.Conn]struct{}{},
+		agents:   map[string]*agentInfo{},
+		merged:   map[bankKey]map[uint32]*MergedBank{},
+		epochs:   map[uint32]bool{},
+		expected: map[int]map[string]bool{},
+		pinned:   map[int]bool{},
+		contrib:  map[int]map[uint32]map[string]bool{},
+		seen:     map[alertKey]bool{},
+		subs:     map[int]chan Event{},
 	}
 }
 
@@ -203,7 +239,8 @@ func (s *Service) HandleConn(conn net.Conn) error {
 	if hello.Type != FrameHello || hello.SwitchID == "" {
 		return fmt.Errorf("telemetry: stream did not open with hello (got %q)", hello.Type)
 	}
-	agent := s.registerAgent(hello.SwitchID)
+	agent := s.streamUp(hello.SwitchID)
+	defer s.streamDown(agent)
 
 	for {
 		var f Frame
@@ -213,6 +250,7 @@ func (s *Service) HandleConn(conn net.Conn) error {
 			}
 			return fmt.Errorf("telemetry: agent %s: %w", hello.SwitchID, err)
 		}
+		s.touch(agent)
 		switch f.Type {
 		case FrameReports:
 			s.ingestReports(agent, f.Reports)
@@ -227,6 +265,34 @@ func (s *Service) HandleConn(conn net.Conn) error {
 			return fmt.Errorf("telemetry: agent %s: unknown frame %q", hello.SwitchID, f.Type)
 		}
 	}
+}
+
+// streamUp registers a new stream for the switch: its first ever is a
+// connect, any later one (after its stream count hit zero) a reconnect.
+func (s *Service) streamUp(id string) *agentInfo {
+	a := s.registerAgent(id)
+	s.mu.Lock()
+	if a.everUp && a.Streams == 0 {
+		s.reconnects++
+	}
+	a.everUp = true
+	a.Streams++
+	a.LastSeen = time.Now()
+	s.mu.Unlock()
+	return a
+}
+
+func (s *Service) streamDown(a *agentInfo) {
+	s.mu.Lock()
+	a.Streams--
+	s.mu.Unlock()
+}
+
+// touch stamps agent liveness on every ingested frame.
+func (s *Service) touch(a *agentInfo) {
+	s.mu.Lock()
+	a.LastSeen = time.Now()
+	s.mu.Unlock()
 }
 
 func cleanStreamErr(err error) bool {
@@ -276,6 +342,18 @@ func (s *Service) ingestSnapshot(agent *agentInfo, switchID string, epoch uint32
 	agent.Snapshots++
 	s.totalSnapshots++
 	s.epochs[epoch] = true
+	// Epoch-gap detection: an exporter that reconnects resumes at its
+	// switch's current epoch; anything skipped in between is telemetry
+	// that never arrived.
+	if agent.hasEpoch && epoch > agent.lastEpoch+1 {
+		gap := uint64(epoch - agent.lastEpoch - 1)
+		agent.Gaps += gap
+		s.epochGaps += gap
+	}
+	if !agent.hasEpoch || epoch > agent.lastEpoch {
+		agent.lastEpoch, agent.hasEpoch = epoch, true
+	}
+	s.recordContribLocked(switchID, epoch, banks)
 	for i := range banks {
 		b := &banks[i]
 		bk := bankKey{qid: b.QueryID, part: b.Part, branch: b.Branch, row: b.Row}
@@ -311,6 +389,112 @@ func (s *Service) ingestSnapshot(agent *agentInfo, switchID string, epoch uint32
 		Kind: EventSnapshotMerged, SwitchID: switchID, Epoch: epoch, Banks: len(banks),
 	}})
 	s.mu.Unlock()
+}
+
+// recordContribLocked notes that switchID delivered a snapshot covering
+// each query at epoch, and — unless the controller pinned the expected
+// membership — learns the switch as an expected contributor going
+// forward.
+func (s *Service) recordContribLocked(switchID string, epoch uint32, banks []modules.BankSnapshot) {
+	qids := map[int]bool{}
+	for i := range banks {
+		qids[banks[i].QueryID] = true
+	}
+	for qid := range qids {
+		if !s.pinned[qid] {
+			exp := s.expected[qid]
+			if exp == nil {
+				exp = map[string]bool{}
+				s.expected[qid] = exp
+			}
+			exp[switchID] = true
+		}
+		byEpoch := s.contrib[qid]
+		if byEpoch == nil {
+			byEpoch = map[uint32]map[string]bool{}
+			s.contrib[qid] = byEpoch
+		}
+		got := byEpoch[epoch]
+		if got == nil {
+			got = map[string]bool{}
+			byEpoch[epoch] = got
+		}
+		got[switchID] = true
+		// Bound contribution history like the merged banks.
+		if len(byEpoch) > s.cfg.KeepEpochs {
+			eps := make([]uint32, 0, len(byEpoch))
+			for e := range byEpoch {
+				eps = append(eps, e)
+			}
+			sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+			for _, e := range eps[:len(eps)-s.cfg.KeepEpochs] {
+				delete(byEpoch, e)
+			}
+		}
+	}
+}
+
+// SetExpected pins the set of switches that must contribute snapshots
+// for query qid — the controller calls it after a deploy, so partial
+// epochs name exactly the missing deploy members instead of relying on
+// who happened to show up first. A nil or empty set unpins and clears
+// the query (used on Remove).
+func (s *Service) SetExpected(qid int, switches []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(switches) == 0 {
+		delete(s.expected, qid)
+		delete(s.pinned, qid)
+		delete(s.contrib, qid)
+		return
+	}
+	exp := make(map[string]bool, len(switches))
+	for _, n := range switches {
+		exp[n] = true
+	}
+	s.expected[qid] = exp
+	s.pinned[qid] = true
+}
+
+// missingLocked returns the expected contributors of qid that delivered
+// no snapshot for epoch, sorted.
+func (s *Service) missingLocked(qid int, epoch uint32) []string {
+	exp := s.expected[qid]
+	if len(exp) == 0 {
+		return nil
+	}
+	got := s.contrib[qid][epoch]
+	var out []string
+	for n := range exp {
+		if !got[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EpochStatus reports whether the merged view of query qid at epoch is
+// complete: Partial is true when an expected switch contributed no
+// snapshot, with Missing naming them. Merged counts the switches that
+// did contribute.
+func (s *Service) EpochStatus(qid int, epoch uint32) (partial bool, missing []string, merged int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	missing = s.missingLocked(qid, epoch)
+	return len(missing) > 0, missing, len(s.contrib[qid][epoch])
+}
+
+// AgentLiveness reports when switch id's stream last produced a frame
+// and whether a stream is currently open.
+func (s *Service) AgentLiveness(id string) (lastSeen time.Time, connected bool, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.agents[id]
+	if a == nil {
+		return time.Time{}, false, false
+	}
+	return a.LastSeen, a.Streams > 0, true
 }
 
 // pruneLocked evicts the oldest merged epochs of a bank beyond the
@@ -445,8 +629,11 @@ func (s *Service) MergedRows(qid, branch int, epoch uint32) []*MergedBank {
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].row < rows[j].row })
+	missing := s.missingLocked(qid, epoch)
 	out := make([]*MergedBank, len(rows))
 	for i, r := range rows {
+		r.m.Partial = len(missing) > 0
+		r.m.Missing = missing
 		out[i] = r.m
 	}
 	return out
@@ -466,22 +653,34 @@ func (s *Service) DrainReports() []dataplane.Report {
 // Stats summarizes the service's ingest accounting.
 type ServiceStats struct {
 	Agents          int
+	LiveAgents      int    // agents with an open stream right now
 	Reports         uint64 // raw reports ingested (pre-dedup)
 	DuplicateAlerts uint64 // reports suppressed by network-wide dedup
 	Snapshots       uint64 // snapshot frames merged
 	SubscriberDrops uint64 // events lost to slow subscribers
+	Reconnects      uint64 // agent streams re-established after a drop
+	EpochGaps       uint64 // snapshot epochs skipped across all agents
 }
 
 // Stats returns the current ingest counters.
 func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	live := 0
+	for _, a := range s.agents {
+		if a.Streams > 0 {
+			live++
+		}
+	}
 	return ServiceStats{
 		Agents:          len(s.agents),
+		LiveAgents:      live,
 		Reports:         s.totalReports,
 		DuplicateAlerts: s.dupAlerts,
 		Snapshots:       s.totalSnapshots,
 		SubscriberDrops: s.subDropped,
+		Reconnects:      s.reconnects,
+		EpochGaps:       s.epochGaps,
 	}
 }
 

@@ -445,6 +445,14 @@ func TestShardedMergeMatchesSingleSwitch(t *testing.T) {
 		}
 	}
 	waitFor(t, "three snapshots merged", func() bool { return svc.Stats().Snapshots == 3 })
+	// Snapshots are written synchronously while reports ride the async
+	// writer, so the snapshot count can hit 3 before every report frame
+	// lands — wait for the raw ingest count to match what was exported.
+	var sent uint64
+	for _, exp := range exps {
+		sent += exp.Stats().Exported
+	}
+	waitFor(t, "all reports ingested", func() bool { return svc.Stats().Reports == sent })
 
 	// --- The merged banks equal the single switch's, slot for slot.
 	var refRows []modules.BankSnapshot
