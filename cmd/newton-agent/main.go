@@ -28,9 +28,11 @@ import (
 
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/obs"
 	"github.com/newton-net/newton/internal/rpc"
 	"github.com/newton-net/newton/internal/telemetry"
 	"github.com/newton-net/newton/internal/trace"
+	"github.com/newton-net/newton/internal/version"
 )
 
 func main() {
@@ -48,8 +50,15 @@ func main() {
 		policy    = flag.String("export-policy", "block", "export overflow policy: block | drop-oldest")
 		ringSize  = flag.Int("export-ring", 4096, "export ring capacity in reports")
 		batchSize = flag.Int("export-batch", 256, "max reports per telemetry frame")
+
+		obsAddr  = flag.String("obs-addr", "", "observability HTTP address for /metrics, /debug/vars, pprof ('' = disabled)")
+		showVers = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVers {
+		fmt.Println(version.String("newton-agent"))
+		return
+	}
 
 	layout, err := modules.NewLayout(modules.LayoutCompact, *stages, uint32(*arraySize))
 	if err != nil {
@@ -70,6 +79,20 @@ func main() {
 	agent := rpc.NewAgent(sw, eng)
 	agent.OnError = func(err error) {
 		fmt.Fprintf(os.Stderr, "newton-agent: control channel: %v\n", err)
+	}
+
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		version.RegisterObs(reg, "newton-agent")
+		modules.AttachObs(eng, reg, *name)
+		agent.RegisterObs(reg, *name)
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatalf("newton-agent: obs: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "newton-agent: observability on http://%s/metrics\n", srv.Addr())
 	}
 
 	var exp *telemetry.Exporter
@@ -96,6 +119,9 @@ func main() {
 			log.Fatalf("newton-agent: %v", err)
 		}
 		defer exp.Close()
+		if reg != nil {
+			exp.RegisterObs(reg)
+		}
 		fmt.Fprintf(os.Stderr, "newton-agent: streaming telemetry to %s (policy=%s, auto-reconnect)\n", *analyzer, pol)
 	}
 

@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/obs"
 	"github.com/newton-net/newton/internal/telemetry"
+	"github.com/newton-net/newton/internal/version"
 )
 
 func main() {
@@ -30,8 +32,15 @@ func main() {
 		window = flag.Duration("window", 100*time.Millisecond, "query window for cross-switch alert dedup")
 		keep   = flag.Int("keep-epochs", 16, "merged epochs retained per sketch bank")
 		stats  = flag.Duration("stats", 10*time.Second, "interval between ingest-stats lines (0 = off)")
+
+		obsAddr  = flag.String("obs-addr", "", "observability HTTP address for /metrics, /debug/vars, pprof ('' = disabled)")
+		showVers = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVers {
+		fmt.Println(version.String("newton-analyzer"))
+		return
+	}
 
 	svc := telemetry.NewService(telemetry.ServiceConfig{Window: *window, KeepEpochs: *keep})
 	ln, err := net.Listen("tcp", *listen)
@@ -39,6 +48,18 @@ func main() {
 		log.Fatalf("newton-analyzer: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "newton-analyzer: ingesting telemetry on %s\n", ln.Addr())
+
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		version.RegisterObs(reg, "newton-analyzer")
+		svc.RegisterObs(reg)
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatalf("newton-analyzer: obs: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "newton-analyzer: observability on http://%s/metrics\n", srv.Addr())
+	}
 
 	events, cancel := svc.Subscribe(1024)
 	defer cancel()
@@ -61,9 +82,9 @@ func main() {
 			for range time.Tick(*stats) {
 				st := svc.Stats()
 				fmt.Fprintf(os.Stderr,
-					"newton-analyzer: agents=%d live=%d reports=%d dup_alerts=%d snapshots=%d reconnects=%d epoch_gaps=%d\n",
+					"newton-analyzer: agents=%d live=%d reports=%d dup_alerts=%d snapshots=%d reconnects=%d epoch_gaps=%d partial_epochs=%d\n",
 					st.Agents, st.LiveAgents, st.Reports, st.DuplicateAlerts, st.Snapshots,
-					st.Reconnects, st.EpochGaps)
+					st.Reconnects, st.EpochGaps, st.PartialEpochs)
 			}
 		}()
 	}

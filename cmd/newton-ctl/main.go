@@ -7,6 +7,8 @@
 //	newton-ctl -topology linear:3 -queries q1,q4,q6 -flows 2000
 //	newton-ctl -topology fattree:4 -queries q4 -mode partition -stages 8
 //	newton-ctl -queries q1 -pcap trace.pcap
+//	newton-ctl -queries q1,q4 -obs-addr 127.0.0.1:9700   # then, elsewhere:
+//	newton-ctl top -addr 127.0.0.1:9700
 package main
 
 import (
@@ -21,13 +23,19 @@ import (
 	"github.com/newton-net/newton/internal/analyzer"
 	"github.com/newton-net/newton/internal/controller"
 	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/obs"
 	"github.com/newton-net/newton/internal/packet"
 	"github.com/newton-net/newton/internal/query"
 	"github.com/newton-net/newton/internal/topology"
 	"github.com/newton-net/newton/internal/trace"
+	"github.com/newton-net/newton/internal/version"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
+		return
+	}
 	var (
 		topoSpec = flag.String("topology", "linear:3", "topology: linear:N, fattree:K, or isp")
 		queries  = flag.String("queries", "q1", "comma-separated catalog queries (q1..q9)")
@@ -39,8 +47,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		pcapPath = flag.String("pcap", "", "replay a pcap instead of generating a workload")
 		attacks  = flag.Bool("attacks", true, "inject the full attack mix into generated workloads")
+
+		obsAddr  = flag.String("obs-addr", "", "observability HTTP address for /metrics, /debug/vars, pprof; keeps serving after the run ('' = disabled)")
+		showVers = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVers {
+		fmt.Println(version.String("newton-ctl"))
+		return
+	}
 
 	topo, h1, h2 := buildTopology(*topoSpec)
 	net, err := netsim.New(topo, netsim.Config{Stages: 16, ArraySize: 1 << 15})
@@ -48,6 +63,19 @@ func main() {
 		log.Fatal(err)
 	}
 	ctl := controller.NewNewton(net, *seed)
+
+	var obsSrv *obs.Server
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		version.RegisterObs(reg, "newton-ctl")
+		ctl.RegisterObs(reg)
+		obsSrv, err = obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatalf("newton-ctl: obs: %v", err)
+		}
+		defer obsSrv.Close()
+		fmt.Fprintf(os.Stderr, "newton-ctl: observability on http://%s/metrics\n", obsSrv.Addr())
+	}
 
 	m := map[string]controller.Mode{
 		"replicate": controller.Replicate,
@@ -141,6 +169,12 @@ func main() {
 			fmt.Printf(" %d.%d.%d.%d", k>>24&0xFF, k>>16&0xFF, k>>8&0xFF, k&0xFF)
 		}
 		fmt.Println()
+	}
+
+	if obsSrv != nil {
+		fmt.Fprintf(os.Stderr, "newton-ctl: run complete; observability stays up on http://%s (try `newton-ctl top -addr %s`, ctrl-c to exit)\n",
+			obsSrv.Addr(), obsSrv.Addr())
+		select {}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"github.com/newton-net/newton/internal/packet"
 	"github.com/newton-net/newton/internal/trace"
+	"github.com/newton-net/newton/internal/version"
 )
 
 func main() {
@@ -34,8 +35,13 @@ func main() {
 		sshbrute  = flag.String("sshbrute", "", "SSH brute overlay as victim:attempts")
 		slowloris = flag.String("slowloris", "", "Slowloris overlay as victim:conns")
 		spreader  = flag.String("spreader", "", "super spreader overlay as source:fanout")
+		showVers  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVers {
+		fmt.Println(version.String("tracegen"))
+		return
+	}
 
 	cfg := trace.Config{Seed: *seed, Flows: *flows, Duration: *duration}
 	switch strings.ToLower(*profile) {

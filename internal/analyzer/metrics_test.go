@@ -1,0 +1,105 @@
+package analyzer
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/fields"
+)
+
+func report(ts uint64, dip uint64) dataplane.Report {
+	r := dataplane.Report{TS: ts, KeyMask: fields.Keep(fields.DstIP)}
+	r.Keys.Set(fields.DstIP, dip)
+	return r
+}
+
+func TestCollectorDedupAndWindows(t *testing.T) {
+	c := NewCollector(100, fields.Keep(fields.DstIP))
+	c.AddAll([]dataplane.Report{
+		report(10, 42),  // window 0
+		report(20, 42),  // window 0, duplicate crossing
+		report(150, 42), // window 1, same key again
+		report(160, 7),  // window 1
+		report(320, 42), // window 3 (window 2 silent)
+	})
+	if c.Raw != 5 {
+		t.Fatalf("Raw = %d, want 5 (dedup must not touch the raw count)", c.Raw)
+	}
+	if ws := c.Windows(); !reflect.DeepEqual(ws, []uint64{0, 1, 3}) {
+		t.Fatalf("Windows = %v, want [0 1 3]", ws)
+	}
+	if got := c.FlaggedIn(0); len(got) != 1 || !got[42] {
+		t.Fatalf("FlaggedIn(0) = %v, want {42}", got)
+	}
+	if got := c.FlaggedIn(1); len(got) != 2 || !got[42] || !got[7] {
+		t.Fatalf("FlaggedIn(1) = %v, want {42, 7}", got)
+	}
+	if got := c.FlaggedIn(2); got != nil {
+		t.Fatalf("FlaggedIn(2) = %v, want nil (silent window)", got)
+	}
+	if got := c.FlaggedKeys(); len(got) != 2 || !got[42] || !got[7] {
+		t.Fatalf("FlaggedKeys = %v, want {42, 7}", got)
+	}
+}
+
+func TestCollectorKeyMasking(t *testing.T) {
+	// A /24 prefix mask must collapse keys from the same subnet.
+	mask := fields.Mask{}.WithBits(fields.DstIP, fields.Prefix(fields.DstIP, 24))
+	c := NewCollector(100, mask)
+	c.Add(report(10, 0x0A000001))
+	c.Add(report(20, 0x0A0000FF))
+	if got := c.FlaggedKeys(); len(got) != 1 {
+		t.Fatalf("FlaggedKeys = %v, want one /24-collapsed key", got)
+	}
+}
+
+func TestCompareAndScores(t *testing.T) {
+	detected := map[uint64]bool{1: true, 2: true, 3: true}
+	truth := map[uint64]bool{2: true, 3: true, 4: true}
+	a := Compare(detected, truth)
+	want := Accuracy{TruePositives: 2, FalsePositives: 1, FalseNegatives: 1}
+	if a != want {
+		t.Fatalf("Compare = %+v, want %+v", a, want)
+	}
+	if got := a.Recall(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("Recall = %v, want 2/3", got)
+	}
+	if got := a.FPR(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("FPR = %v, want 1/3", got)
+	}
+	// precision = recall = 2/3 here, so F1 is their common value.
+	if got := a.F1(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("F1 = %v, want 2/3", got)
+	}
+}
+
+func TestScoresEdgeCases(t *testing.T) {
+	// Empty truth, empty detection: vacuous success.
+	empty := Compare(nil, nil)
+	if r := empty.Recall(); r != 1 {
+		t.Fatalf("Recall with no truth = %v, want 1", r)
+	}
+	if f := empty.FPR(); f != 0 {
+		t.Fatalf("FPR with no detections = %v, want 0", f)
+	}
+
+	// Nothing detected, truth non-empty: recall 0, F1 0.
+	missed := Compare(nil, map[uint64]bool{1: true})
+	if r := missed.Recall(); r != 0 {
+		t.Fatalf("Recall all-missed = %v, want 0", r)
+	}
+	if f := missed.F1(); f != 0 {
+		t.Fatalf("F1 all-missed = %v, want 0", f)
+	}
+
+	// Only false positives: FPR 1, F1 0.
+	wrong := Compare(map[uint64]bool{9: true}, nil)
+	if f := wrong.FPR(); f != 1 {
+		t.Fatalf("FPR all-wrong = %v, want 1", f)
+	}
+	if f := wrong.F1(); f != 0 {
+		t.Fatalf("F1 all-wrong = %v, want 0", f)
+	}
+}

@@ -102,6 +102,8 @@ type Newton struct {
 
 	nextQID     int
 	deployments map[int]*Deployment
+
+	obs ctlObs
 }
 
 // NewNewton builds a controller over a simulated network. The seed
@@ -131,13 +133,19 @@ func (c *Newton) switchTargets(spec Spec) []int {
 // is the controller-observed operation latency (rule installation is
 // batched per switch and switches are programmed in parallel, so the
 // slowest switch bounds the delay). Forwarding is never interrupted.
-func (c *Newton) Install(spec Spec) (*Deployment, time.Duration, error) {
+func (c *Newton) Install(spec Spec) (dep *Deployment, delay time.Duration, err error) {
 	if spec.Query == nil {
 		return nil, 0, fmt.Errorf("controller: nil query")
 	}
+	defer func() {
+		if err != nil {
+			inc(&c.obs.deployFailures)
+		}
+	}()
 	qid := c.nextQID
-	dep := &Deployment{QID: qid, Query: spec.Query, Mode: spec.Mode}
+	dep = &Deployment{QID: qid, Query: spec.Query, Mode: spec.Mode}
 	maxRules := 0
+	var footprintProg *modules.Program
 
 	install := func(sw int, progs ...*modules.Program) error {
 		node := c.net.Node(sw)
@@ -161,7 +169,11 @@ func (c *Newton) Install(spec Spec) (*Deployment, time.Duration, error) {
 
 	undo := func() {
 		for _, sw := range dep.Switches {
-			_ = c.net.Node(sw).Eng.Remove(qid)
+			if c.net.Node(sw).Eng.Remove(qid) == nil {
+				inc(&c.obs.rollbacks)
+			} else {
+				inc(&c.obs.rollbackFailures)
+			}
 		}
 	}
 
@@ -183,6 +195,9 @@ func (c *Newton) Install(spec Spec) (*Deployment, time.Duration, error) {
 				undo()
 				return nil, 0, err
 			}
+			if footprintProg == nil {
+				footprintProg = p
+			}
 		}
 		dep.Parts = 1
 
@@ -201,6 +216,7 @@ func (c *Newton) Install(spec Spec) (*Deployment, time.Duration, error) {
 		if err != nil {
 			return nil, 0, err
 		}
+		footprintProg = logical
 		parts, err := modules.SliceProgram(logical, spec.StagesPerSwitch)
 		if err != nil {
 			return nil, 0, err
@@ -234,7 +250,11 @@ func (c *Newton) Install(spec Spec) (*Deployment, time.Duration, error) {
 
 	c.nextQID++
 	c.deployments[qid] = dep
-	delay := c.jitter(installBase + time.Duration(maxRules)*installPerRule)
+	inc(&c.obs.deploys)
+	if footprintProg != nil {
+		c.obs.publish(qid, spec.Query.Name, spec.Mode.String(), footprintProg.Footprint())
+	}
+	delay = c.jitter(installBase + time.Duration(maxRules)*installPerRule)
 	return dep, delay, nil
 }
 
@@ -251,6 +271,7 @@ func (c *Newton) Remove(qid int) (time.Duration, error) {
 	}
 	for sw := range perSwitch {
 		if err := c.net.Node(sw).Eng.Remove(qid); err != nil {
+			inc(&c.obs.removeFailures)
 			return 0, err
 		}
 	}
@@ -258,6 +279,8 @@ func (c *Newton) Remove(qid int) (time.Duration, error) {
 		maxRules = dep.Rules / len(perSwitch)
 	}
 	delete(c.deployments, qid)
+	inc(&c.obs.removes)
+	c.obs.unpublish(qid)
 	return c.jitter(removeBase + time.Duration(maxRules)*removePerRule), nil
 }
 

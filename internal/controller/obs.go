@@ -1,0 +1,110 @@
+package controller
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/obs"
+)
+
+// ctlObs is the controller's observability state, shared by the remote
+// (RPC) and in-process controllers: control-plane operation outcome
+// counters plus per-query resource gauge publication. The zero value
+// counts silently; RegisterObs makes it visible.
+type ctlObs struct {
+	deploys            uint64
+	deployFailures     uint64
+	rollbacks          uint64
+	rollbackFailures   uint64
+	removes            uint64
+	removeFailures     uint64
+	reconverges        uint64
+	reconvergeFailures uint64
+	ticks              uint64
+	tickFailures       uint64
+
+	mu        sync.Mutex
+	reg       *obs.Registry
+	published map[int]pubInfo // qid -> labels used at publish time
+}
+
+// pubInfo remembers how a query's gauges were labeled, so Remove can
+// drop exactly those series.
+type pubInfo struct{ name, mode string }
+
+// registerCtl exposes the outcome counters in reg and enables per-query
+// gauge publication. Families follow newton_ctl_<op>s_total{result}.
+func (o *ctlObs) registerCtl(reg *obs.Registry) {
+	o.mu.Lock()
+	o.reg = reg
+	o.mu.Unlock()
+	load := func(p *uint64) func() uint64 {
+		return func() uint64 { return atomic.LoadUint64(p) }
+	}
+	ok, errL := obs.L("result", "ok"), obs.L("result", "error")
+	reg.CounterFunc("newton_ctl_deploys_total",
+		"Query deploys by outcome.", load(&o.deploys), ok)
+	reg.CounterFunc("newton_ctl_deploys_total",
+		"Query deploys by outcome.", load(&o.deployFailures), errL)
+	reg.CounterFunc("newton_ctl_rollbacks_total",
+		"Per-switch rollback removes during failed deploys, by outcome.",
+		load(&o.rollbacks), ok)
+	reg.CounterFunc("newton_ctl_rollbacks_total",
+		"Per-switch rollback removes during failed deploys, by outcome.",
+		load(&o.rollbackFailures), errL)
+	reg.CounterFunc("newton_ctl_removes_total",
+		"Query removals by outcome.", load(&o.removes), ok)
+	reg.CounterFunc("newton_ctl_removes_total",
+		"Query removals by outcome.", load(&o.removeFailures), errL)
+	reg.CounterFunc("newton_ctl_reconverges_total",
+		"Reconverge passes by outcome.", load(&o.reconverges), ok)
+	reg.CounterFunc("newton_ctl_reconverges_total",
+		"Reconverge passes by outcome.", load(&o.reconvergeFailures), errL)
+	reg.CounterFunc("newton_ctl_ticks_total",
+		"Epoch ticks by outcome.", load(&o.ticks), ok)
+	reg.CounterFunc("newton_ctl_ticks_total",
+		"Epoch ticks by outcome.", load(&o.tickFailures), errL)
+}
+
+func inc(p *uint64) { atomic.AddUint64(p, 1) }
+
+// publish sets the per-query resource gauges for a successfully
+// deployed query, labeled {mode, qid, query}. No-op until registerCtl.
+func (o *ctlObs) publish(qid int, name, mode string, f modules.Footprint) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.reg == nil {
+		return
+	}
+	if o.published == nil {
+		o.published = map[int]pubInfo{}
+	}
+	o.published[qid] = pubInfo{name: name, mode: mode}
+	modules.PublishQueryFootprint(o.reg, qid, name, f, obs.L("mode", mode))
+}
+
+// unpublish drops a removed query's gauges. No-op when never published.
+func (o *ctlObs) unpublish(qid int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.reg == nil {
+		return
+	}
+	info, ok := o.published[qid]
+	if !ok {
+		return
+	}
+	delete(o.published, qid)
+	modules.RemoveQueryFootprint(o.reg, qid, info.name, obs.L("mode", info.mode))
+}
+
+// RegisterObs exposes the remote controller's deploy/rollback/
+// reconverge outcome counters in reg and turns on per-query resource
+// gauge publication for subsequent deploys.
+func (r *Remote) RegisterObs(reg *obs.Registry) { r.obs.registerCtl(reg) }
+
+// RegisterObs exposes the in-process controller's operation outcome
+// counters in reg and turns on per-query resource gauge publication for
+// subsequent installs — what newton-ctl serves behind -obs-addr.
+func (c *Newton) RegisterObs(reg *obs.Registry) { c.obs.registerCtl(reg) }

@@ -92,6 +92,8 @@ type Remote struct {
 	// reports to the analyzer service and Collect drains the merged,
 	// network-wide-deduplicated stream instead.
 	svc *telemetry.Service
+
+	obs ctlObs
 }
 
 // NewRemote builds a controller over named agent connections.
@@ -125,17 +127,22 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 	maxRules := 0
 	var done []string
 
+	mode := "replicate"
+	if spec.sharded {
+		mode = "shard"
+	}
+
 	fail := func(failed string, installErr error) error {
-		perr := &PartialDeployError{QID: qid, Failed: failed, Mode: "replicate"}
-		if spec.sharded {
-			perr.Mode = "shard"
-		}
+		inc(&r.obs.deployFailures)
+		perr := &PartialDeployError{QID: qid, Failed: failed, Mode: mode}
 		for _, n := range done {
 			o := DeployOutcome{Switch: n, Installed: true}
 			if err := r.agents[n].Remove(qid); err == nil || rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
 				o.RolledBack = true
+				inc(&r.obs.rollbacks)
 			} else {
 				o.RollbackErr = err
+				inc(&r.obs.rollbackFailures)
 			}
 			perr.Outcomes = append(perr.Outcomes, o)
 		}
@@ -143,6 +150,7 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 		return perr
 	}
 
+	var first *modules.Program
 	for i, n := range spec.names {
 		c, ok := r.agents[n]
 		if !ok {
@@ -155,10 +163,17 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 		if err := c.Install(p); err != nil {
 			return 0, 0, fail(n, fmt.Errorf("controller: agent %q: %w", n, err))
 		}
+		if first == nil {
+			first = p
+		}
 		done = append(done, n)
 		if rules := p.RuleCount() + 1; rules > maxRules {
 			maxRules = rules
 		}
+	}
+	inc(&r.obs.deploys)
+	if first != nil {
+		r.obs.publish(qid, spec.q.Name, mode, first.Footprint())
 	}
 	r.nextQID++
 	r.deployments[qid] = done
@@ -204,6 +219,7 @@ func (r *Remote) Remove(qid int) error {
 	}
 	for _, n := range names {
 		if err := r.agents[n].Remove(qid); err != nil && !rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
+			inc(&r.obs.removeFailures)
 			return fmt.Errorf("controller: agent %q: %w", n, err)
 		}
 	}
@@ -212,6 +228,8 @@ func (r *Remote) Remove(qid int) error {
 	if r.svc != nil {
 		r.svc.SetExpected(qid, nil)
 	}
+	inc(&r.obs.removes)
+	r.obs.unpublish(qid)
 	return nil
 }
 
@@ -220,9 +238,11 @@ func (r *Remote) Remove(qid int) error {
 func (r *Remote) Tick() error {
 	for n, c := range r.agents {
 		if err := c.NextEpoch(); err != nil {
+			inc(&r.obs.tickFailures)
 			return fmt.Errorf("controller: agent %q: %w", n, err)
 		}
 	}
+	inc(&r.obs.ticks)
 	return nil
 }
 
@@ -260,17 +280,21 @@ func (r *Remote) Reconverge() error {
 		for i, n := range spec.names {
 			c, ok := r.agents[n]
 			if !ok {
+				inc(&r.obs.reconvergeFailures)
 				return fmt.Errorf("controller: no agent %q", n)
 			}
 			p, err := spec.compileFor(qid, i)
 			if err != nil {
+				inc(&r.obs.reconvergeFailures)
 				return err
 			}
 			if err := c.Install(p); err != nil && !rpc.IsAgentCode(err, rpc.CodeAlreadyInstalled) {
+				inc(&r.obs.reconvergeFailures)
 				return fmt.Errorf("controller: reconverge agent %q: %w", n, err)
 			}
 		}
 	}
+	inc(&r.obs.reconverges)
 	return nil
 }
 

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/topology"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+// ThroughputResult is the headline fast-path measurement: one
+// fully-loaded switch (all nine catalog queries) on the standard
+// evaluation trace. It mirrors BenchmarkPacketThroughput so the same
+// number is available from cmd/newton-bench, including -json.
+type ThroughputResult struct {
+	Packets      int     // packets timed (after the warm pass)
+	NsPerPkt     float64 // wall time per packet through the full pipeline
+	PktsPerSec   float64
+	AllocsPerPkt float64 // heap allocations per packet on the steady-state path
+	Drops        uint64  // packets the simulated switch refused
+}
+
+func (r *ThroughputResult) String() string {
+	t := &table{header: []string{"packets", "ns/pkt", "pkts/sec", "allocs/pkt", "drops"}}
+	t.add(fmt.Sprint(r.Packets), fmt.Sprintf("%.1f", r.NsPerPkt),
+		fmt.Sprintf("%.0f", r.PktsPerSec), fmt.Sprintf("%.3f", r.AllocsPerPkt),
+		fmt.Sprint(r.Drops))
+	return t.String()
+}
+
+// Metrics exposes the result for machine-readable output (-json).
+func (r *ThroughputResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"packets":    float64(r.Packets),
+		"ns_per_pkt": r.NsPerPkt,
+		"pkts_sec":   r.PktsPerSec,
+		"allocs_pkt": r.AllocsPerPkt,
+		"drops":      float64(r.Drops),
+	}
+}
+
+// Throughput measures steady-state per-packet cost on one switch with
+// every catalog query installed. A full warm pass settles register
+// epochs and caches before timing; allocations are measured with a
+// runtime.MemStats delta over the timed loop.
+func Throughput(flows int, dur time.Duration) *ThroughputResult {
+	if flows == 0 {
+		flows = 2000
+	}
+	if dur == 0 {
+		dur = 400 * time.Millisecond
+	}
+	topo, _, _ := topology.Linear(1)
+	net, err := netsim.New(topo, netsim.Config{Stages: 16, ArraySize: 1 << 16})
+	if err != nil {
+		panic(err)
+	}
+	sw := net.Node(topo.Switches()[0])
+	for i, q := range query.All() {
+		o := compiler.AllOpts()
+		o.QID = i + 1
+		o.Width = 1 << 12
+		p, err := compiler.Compile(q, o)
+		if err != nil {
+			panic(err)
+		}
+		if err := sw.Eng.Install(p); err != nil {
+			panic(err)
+		}
+	}
+	tr := trace.Generate(trace.Config{Seed: 99, Flows: flows, Duration: dur},
+		trace.SYNFlood{Victim: 0x0A0000AA, Packets: 600},
+		trace.PortScan{Scanner: 0x0B000001, Victim: 0x0A0000AC, Ports: 200})
+	pkts := tr.Packets
+	path := topo.Switches()
+
+	for _, pkt := range pkts { // warm pass
+		net.DeliverPath(pkt, path)
+	}
+	net.DrainReports()
+	_, warmDropped := net.Stats()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for _, pkt := range pkts {
+		net.DeliverPath(pkt, path)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	_, dropped := net.Stats()
+	net.DrainReports()
+	n := len(pkts)
+	return &ThroughputResult{
+		Packets:      n,
+		NsPerPkt:     float64(elapsed.Nanoseconds()) / float64(n),
+		PktsPerSec:   float64(n) / elapsed.Seconds(),
+		AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / float64(n),
+		Drops:        dropped - warmDropped,
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/fields"
+	"github.com/newton-net/newton/internal/obs"
 	"github.com/newton-net/newton/internal/packet"
 	"github.com/newton-net/newton/internal/sketch"
 )
@@ -29,6 +32,25 @@ type Engine struct {
 	installed map[progKey]*Program
 
 	dispatch dispatchCache
+
+	// Execution counters follow the dataplane.Switch discipline: written
+	// plainly in sequential mode, atomically in parallel mode (netsim
+	// separates the phases with barriers), and always read with atomic
+	// loads. Scrapes concurrent with *sequential* delivery are therefore
+	// approximate by design — same as Switch.Counters.
+	pkts           uint64
+	dispatchMisses uint64
+	modExecs       [NumKinds]uint64
+
+	// execNS, when set via AttachObs, receives 1-in-execSampleEvery
+	// sampled whole-Execute latencies. Nil when unobserved so the fast
+	// path pays only a nil check.
+	execNS *obs.Histogram
+
+	// onChange fires after every successful Install/Remove — how the obs
+	// adapter keeps per-query resource gauges current without scraping
+	// engine maps concurrently with rule updates.
+	onChange func()
 }
 
 // progKey identifies an installed program: a switch may host several
@@ -149,6 +171,31 @@ func (c *dispatchCache) store(version uint64, k *dispatchKey, e *dispatchEntry) 
 // InstalledCount returns how many programs are installed.
 func (e *Engine) InstalledCount() int { return len(e.installed) }
 
+// Programs returns every installed program (all partitions), in no
+// particular order. Callers must not mutate the programs.
+func (e *Engine) Programs() []*Program {
+	out := make([]*Program, 0, len(e.installed))
+	for _, p := range e.installed {
+		out = append(out, p)
+	}
+	return out
+}
+
+// execSampleMask selects which packets get a timed Execute: 1 in 64,
+// cheap enough that time.Now on the sampled packet dominates the cost.
+const execSampleMask = 63
+
+// Counters returns the engine's execution counters: packets executed,
+// dispatch-cache misses, and per-module-kind op executions.
+func (e *Engine) Counters() (pkts, dispatchMisses uint64, execs [NumKinds]uint64) {
+	pkts = atomic.LoadUint64(&e.pkts)
+	dispatchMisses = atomic.LoadUint64(&e.dispatchMisses)
+	for k := range execs {
+		execs[k] = atomic.LoadUint64(&e.modExecs[k])
+	}
+	return pkts, dispatchMisses, execs
+}
+
 // Install loads a compiled program: one newton_init entry per branch,
 // one rule per module op, and register allocations for the stateful
 // banks. On any failure the partial install is rolled back, leaving the
@@ -223,6 +270,9 @@ func (e *Engine) Install(p *Program) (err error) {
 		return ferr
 	}
 	e.installed[key] = p
+	if e.onChange != nil {
+		e.onChange()
+	}
 	return nil
 }
 
@@ -241,6 +291,9 @@ func (e *Engine) Remove(qid int) error {
 	}
 	if !found {
 		return fmt.Errorf("modules: query %d %w", qid, ErrNotInstalled)
+	}
+	if e.onChange != nil {
+		e.onChange()
 	}
 	return nil
 }
@@ -354,6 +407,24 @@ func (finAction) ActionName() string { return "snapshot" }
 // per-packet path does one map probe instead of a ternary scan — and
 // allocates nothing.
 func (e *Engine) Execute(ctx *dataplane.Context) {
+	seq := ctx.Sequential()
+	var nth uint64
+	if seq {
+		e.pkts++
+		nth = e.pkts
+	} else {
+		nth = atomic.AddUint64(&e.pkts, 1)
+	}
+	var t0 time.Time
+	timed := e.execNS != nil && nth&execSampleMask == 0
+	if timed {
+		t0 = time.Now()
+	}
+	// Per-packet op tally, packed as four 16-bit lanes (one per module
+	// kind) in a single word: the per-op cost is one shift+add, and the
+	// flush is at most NumKinds counter adds per packet.
+	var execs uint64
+
 	curPart := 0
 	if sp := ctx.Pkt.SP; sp != nil {
 		Restore(&ctx.PHV, sp)
@@ -365,7 +436,6 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 		v.Get(fields.SrcPort)<<32 | v.Get(fields.DstPort)<<16 |
 			v.Get(fields.Proto)<<8 | v.Get(fields.TCPFlags)}
 	version := e.layout.Init.Version()
-	seq := ctx.Sequential()
 	var entry *dispatchEntry
 	if seq {
 		entry = e.dispatch.lookupSeq(version, &key)
@@ -373,6 +443,11 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 		entry = e.dispatch.lookup(version, &key)
 	}
 	if entry == nil {
+		if seq {
+			e.dispatchMisses++
+		} else {
+			atomic.AddUint64(&e.dispatchMisses, 1)
+		}
 		vals := [6]uint64{
 			v.Get(fields.SrcIP), v.Get(fields.DstIP), v.Get(fields.Proto),
 			v.Get(fields.SrcPort), v.Get(fields.DstPort), v.Get(fields.TCPFlags)}
@@ -415,7 +490,7 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 			ranPart = ca.prog
 		}
 		ctx.PHV.QueryID = ca.prog.QID
-		e.runBranch(ctx, ca.branch, entry.hashes[i])
+		e.runBranch(ctx, ca.branch, entry.hashes[i], &execs)
 		if ca.prog == ranPart {
 			stopped = ctx.PHV.Stopped
 		}
@@ -428,6 +503,22 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 	default:
 		ctx.OutSP = ctx.Pkt.SP // not our partition: forward untouched
 	}
+	if execs != 0 {
+		for k := 0; k < int(NumKinds); k++ {
+			n := (execs >> (uint(k) * 16)) & 0xFFFF
+			if n == 0 {
+				continue
+			}
+			if seq {
+				e.modExecs[k] += n
+			} else {
+				atomic.AddUint64(&e.modExecs[k], n)
+			}
+		}
+	}
+	if timed {
+		e.execNS.Observe(uint64(time.Since(t0)))
+	}
 }
 
 // runBranch executes one branch chain over the packet. The PHV's
@@ -436,7 +527,7 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 // order, which the composition algorithm guarantees is dependency-safe.
 // hashes, when non-nil, is the flow's memoized hash results (one slot
 // per H op, hashUnset until first recorded); see dispatchEntry.
-func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram, hashes []uint64) {
+func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram, hashes []uint64, execs *uint64) {
 	phv := &ctx.PHV
 	seq := ctx.Sequential()
 	phv.Stopped = false
@@ -444,6 +535,7 @@ func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram, hashes []ui
 		if phv.Stopped {
 			return
 		}
+		*execs += 1 << (uint(op.Kind) * 16)
 		set := &phv.Sets[op.Set&1]
 		switch op.Kind {
 		case ModK:

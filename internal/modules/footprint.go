@@ -1,0 +1,46 @@
+package modules
+
+// Footprint is a program's hardware resource consumption in the paper's
+// §6 vocabulary: pipeline stages spanned, hash units, stateful ALUs,
+// state-bank register slots, and table rules split by kind. It is
+// computed from compiled (and, once installed, placed) programs, so the
+// numbers match what Install actually charged against the Layout.
+type Footprint struct {
+	Stages      int    // pipeline stages spanned (highest assigned stage + 1)
+	HashUnits   int    // H module instances
+	SALUs       int    // state-owning S module instances (stateful ALUs)
+	Registers   uint32 // state-bank register slots across owning S ops
+	InitRules   int    // newton_init classifier entries (one per branch)
+	ResultRules int    // R-table entries
+	Rules       int    // total module-table rules, all kinds
+}
+
+// Footprint computes the program's resource footprint. Pass-through and
+// cross-read S ops consume no registers or ALUs of their own (they read
+// another branch's bank), matching Install's allocation rules.
+func (p *Program) Footprint() Footprint {
+	var f Footprint
+	maxStage := -1
+	for _, b := range p.Branches {
+		f.InitRules++
+		for _, op := range b.Ops {
+			f.Rules++
+			if op.Stage > maxStage {
+				maxStage = op.Stage
+			}
+			switch op.Kind {
+			case ModH:
+				f.HashUnits++
+			case ModS:
+				if op.S != nil && !op.S.PassThrough && !op.S.CrossRead {
+					f.SALUs++
+					f.Registers += op.Width()
+				}
+			case ModR:
+				f.ResultRules++
+			}
+		}
+	}
+	f.Stages = maxStage + 1
+	return f
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	LE    uint64 `json:"le"` // upper bound; the +Inf bucket is omitted (it equals Count)
+	Count uint64 `json:"count"`
+}
+
+// Series is one labeled series in a snapshot.
+type Series struct {
+	Labels map[string]string `json:"labels,omitempty"`
+
+	// Value carries counters and gauges.
+	Value float64 `json:"value"`
+
+	// Histogram fields (Type == "histogram").
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Family is one metric family in a snapshot.
+type Family struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"`
+	Help   string   `json:"help,omitempty"`
+	Series []Series `json:"series"`
+}
+
+// Snapshot is a point-in-time copy of every registered family — the
+// JSON exposition format, and the structure newton-ctl top consumes.
+type Snapshot struct {
+	Families []Family `json:"families"`
+}
+
+// Get returns the named family, or nil.
+func (s *Snapshot) Get(name string) *Family {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Find returns the first series of the named family whose labels
+// include every given pair, or nil.
+func (s *Snapshot) Find(name string, labels ...Label) *Series {
+	f := s.Get(name)
+	if f == nil {
+		return nil
+	}
+	for i := range f.Series {
+		ok := true
+		for _, l := range labels {
+			if f.Series[i].Labels[l.Key] != l.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot copies the registry's current state. Callback series are
+// evaluated here, so the snapshot reflects scrape time.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	fams := r.sortedFamilies()
+	// Copy the series slices under the lock; values are read after, so
+	// a slow callback cannot hold the registry lock.
+	type famCopy struct {
+		f      *family
+		series []*series
+	}
+	copies := make([]famCopy, len(fams))
+	for i, f := range fams {
+		copies[i] = famCopy{f: f, series: append([]*series(nil), f.series...)}
+	}
+	r.mu.RUnlock()
+
+	snap := Snapshot{Families: make([]Family, 0, len(copies))}
+	for _, fc := range copies {
+		out := Family{Name: fc.f.name, Type: fc.f.kind.String(), Help: fc.f.help}
+		for _, s := range fc.series {
+			var labels map[string]string
+			if len(s.labels) > 0 {
+				labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					labels[l.Key] = l.Value
+				}
+			}
+			p := Series{Labels: labels}
+			if s.h != nil {
+				counts, count, sum := s.h.Snapshot()
+				p.Count, p.Sum = count, sum
+				cum := uint64(0)
+				bounds := s.h.Bounds()
+				for i, b := range bounds {
+					cum += counts[i]
+					p.Buckets = append(p.Buckets, Bucket{LE: b, Count: cum})
+				}
+			} else {
+				p.Value = s.value()
+			}
+			out.Series = append(out.Series, p)
+		}
+		snap.Families = append(snap.Families, out)
+	}
+	return snap
+}
+
+// WriteJSON renders the registry as the JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// labelString renders {k="v",...} with extra appended (histogram le).
+func labelString(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fmtValue renders a sample value without the exponent notation %v
+// would pick for large counters.
+func fmtValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := r.sortedFamilies()
+	type famCopy struct {
+		f      *family
+		series []*series
+	}
+	copies := make([]famCopy, len(fams))
+	for i, f := range fams {
+		copies[i] = famCopy{f: f, series: append([]*series(nil), f.series...)}
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, fc := range copies {
+		f := fc.f
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range fc.series {
+			if s.h != nil {
+				counts, count, sum := s.h.Snapshot()
+				cum := uint64(0)
+				for i, bound := range s.h.Bounds() {
+					cum += counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelString(s.labels, fmt.Sprintf(`le="%d"`, bound)), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(s.labels, `le="+Inf"`), count)
+				fmt.Fprintf(&b, "%s_sum%s %d\n", f.name, labelString(s.labels, ""), sum)
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(s.labels, ""), count)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(s.labels, ""), fmtValue(s.value()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

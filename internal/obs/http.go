@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the observability mux: Prometheus text at /metrics,
+// the JSON snapshot at /metrics.json and /debug/vars (the expvar
+// convention, so existing tooling that polls it keeps working), and
+// the standard pprof handlers under /debug/pprof/.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	jsonHandler := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	}
+	mux.HandleFunc("/metrics.json", jsonHandler)
+	mux.HandleFunc("/debug/vars", jsonHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve listens on addr (e.g. ":9100", "127.0.0.1:0") and serves the
+// observability mux in a background goroutine. Close shuts it down.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: &http.Server{Handler: NewMux(reg)}, ln: ln}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes its listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,126 @@
+// Package obs is the repository's observability core: a dependency-free
+// metrics layer (standard library only) shared by the agent, analyzer,
+// and controller processes.
+//
+// The design splits instruments from exposition:
+//
+//   - Counter, Gauge, and Histogram are standalone lock-free instruments
+//     whose write paths never allocate — safe on the per-packet fast
+//     path, where a single heap allocation would show up in the
+//     AllocsPerRun gate.
+//   - Registry names instruments into labeled families, supports
+//     callback-backed series (CounterFunc/GaugeFunc) so subsystems with
+//     existing internal accounting expose it without double bookkeeping,
+//     and renders Prometheus text or a JSON snapshot.
+//   - Serve mounts /metrics, /metrics.json, /debug/vars, and
+//     net/http/pprof on one address — the -obs-addr flag of every
+//     daemon.
+//
+// Naming and cardinality rules are documented in DESIGN.md §10.
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; all methods are safe for concurrent use and never
+// allocate.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a signed instantaneous value. The zero value is ready to
+// use; all methods are safe for concurrent use and never allocate.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram over uint64 observations
+// (typically nanoseconds). Buckets are cumulative-at-exposition upper
+// bounds, Prometheus style, with an implicit +Inf bucket. Observe is
+// lock-free and never allocates, so histograms may sit on the packet
+// path (sampled — see DESIGN.md §10).
+type Histogram struct {
+	bounds []uint64 // sorted upper bounds (inclusive)
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds.
+// An empty bounds slice yields a histogram with only the +Inf bucket
+// (count and sum still track).
+func NewHistogram(bounds []uint64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at
+// start: start, start*factor, start*factor², ...
+func ExpBuckets(start uint64, factor float64, n int) []uint64 {
+	bounds := make([]uint64, n)
+	v := float64(start)
+	for i := range bounds {
+		bounds[i] = uint64(v)
+		v *= factor
+	}
+	return bounds
+}
+
+// DefLatencyBuckets covers 250ns..~4s in powers of four — wide enough
+// for both per-packet execution (hundreds of ns) and RPC round trips
+// (µs to seconds) without per-subsystem tuning.
+func DefLatencyBuckets() []uint64 { return ExpBuckets(250, 4, 12) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	// Linear scan: bucket counts are small (≤ ~16) and the branch
+	// predictor does well on the monotone bounds; binary search wins
+	// nothing at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns the per-bucket counts (len(bounds)+1, last is +Inf),
+// the total observation count, and the sum of observed values.
+func (h *Histogram) Snapshot() (counts []uint64, count, sum uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.count.Load(), h.sum.Load()
+}
+
+// Bounds returns the histogram's upper bounds (not including +Inf).
+func (h *Histogram) Bounds() []uint64 { return h.bounds }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	counts, count, sum := h.Snapshot()
+	want := []uint64{2, 2, 0, 1} // ≤10: {5,10}; ≤100: {11,100}; ≤1000: none; +Inf: {5000}
+	if len(counts) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(counts), len(want))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (counts=%v)", i, counts[i], want[i], counts)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if sum != 5+10+11+100+5000 {
+		t.Fatalf("sum = %d, want %d", sum, 5+10+11+100+5000)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(250, 4, 4)
+	want := []uint64{250, 1000, 4000, 16000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if n := len(DefLatencyBuckets()); n != 12 {
+		t.Fatalf("DefLatencyBuckets len = %d, want 12", n)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("newton_test_total", "help", L("sw", "s1"))
+	c2 := reg.Counter("newton_test_total", "help", L("sw", "s1"))
+	if c1 != c2 {
+		t.Fatal("same (name, labels) should return the same counter")
+	}
+	c3 := reg.Counter("newton_test_total", "help", L("sw", "s2"))
+	if c1 == c3 {
+		t.Fatal("different labels should return a distinct counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("newton_mixed", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge should panic")
+		}
+	}()
+	reg.Gauge("newton_mixed", "help")
+}
+
+func TestRegistryLabelKeyMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("newton_labeled", "help", L("a", "1"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different label keys should panic")
+		}
+	}()
+	reg.Gauge("newton_labeled", "help", L("b", "1"))
+}
+
+func TestRegistryRemove(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("newton_query_stages", "", L("qid", "1"))
+	reg.Gauge("newton_query_stages", "", L("qid", "2"))
+	if !reg.Remove("newton_query_stages", L("qid", "1")) {
+		t.Fatal("Remove of existing series returned false")
+	}
+	if reg.Remove("newton_query_stages", L("qid", "1")) {
+		t.Fatal("second Remove of same series returned true")
+	}
+	if reg.Remove("newton_absent", L("qid", "1")) {
+		t.Fatal("Remove on unknown family returned true")
+	}
+	snap := reg.Snapshot()
+	f := snap.Get("newton_query_stages")
+	if f == nil || len(f.Series) != 1 {
+		t.Fatalf("after Remove, family = %+v, want 1 series", f)
+	}
+	if f.Series[0].Labels["qid"] != "2" {
+		t.Fatalf("surviving series labels = %v, want qid=2", f.Series[0].Labels)
+	}
+}
+
+func TestCallbackSeries(t *testing.T) {
+	reg := NewRegistry()
+	n := uint64(7)
+	reg.CounterFunc("newton_cb_total", "", func() uint64 { return n })
+	reg.GaugeFunc("newton_cb_depth", "", func() float64 { return 2.5 })
+	snap := reg.Snapshot()
+	if s := snap.Find("newton_cb_total"); s == nil || s.Value != 7 {
+		t.Fatalf("counter func series = %+v, want 7", s)
+	}
+	n = 9
+	snap = reg.Snapshot()
+	if s := snap.Find("newton_cb_total"); s == nil || s.Value != 9 {
+		t.Fatalf("counter func should be read at scrape time, got %+v", s)
+	}
+	if s := snap.Find("newton_cb_depth"); s == nil || s.Value != 2.5 {
+		t.Fatalf("gauge func series = %+v, want 2.5", s)
+	}
+	// Re-registering a callback rebinds the closure (reattach semantics).
+	reg.CounterFunc("newton_cb_total", "", func() uint64 { return 100 })
+	snap = reg.Snapshot()
+	if s := snap.Find("newton_cb_total"); s == nil || s.Value != 100 {
+		t.Fatalf("rebound callback series = %+v, want 100", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("newton_pkts_total", "Packets processed.", L("switch", "s1")).Add(12)
+	reg.Gauge("newton_ring_depth", "Ring occupancy.").Set(3)
+	h := reg.Histogram("newton_exec_ns", "Execution time.", []uint64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+	reg.Gauge("newton_esc", "", L("q", `a"b\c`)).Set(1)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP newton_pkts_total Packets processed.",
+		"# TYPE newton_pkts_total counter",
+		`newton_pkts_total{switch="s1"} 12`,
+		"# TYPE newton_ring_depth gauge",
+		"newton_ring_depth 3",
+		"# TYPE newton_exec_ns histogram",
+		`newton_exec_ns_bucket{le="100"} 1`,
+		`newton_exec_ns_bucket{le="1000"} 2`,
+		`newton_exec_ns_bucket{le="+Inf"} 3`,
+		"newton_exec_ns_sum 5550",
+		"newton_exec_ns_count 3",
+		`newton_esc{q="a\"b\\c"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families come out name-sorted.
+	if strings.Index(out, "newton_esc") > strings.Index(out, "newton_pkts_total") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("newton_a_total", "help", L("k", "v")).Add(4)
+	reg.Histogram("newton_h_ns", "", []uint64{10}).Observe(3)
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("JSON snapshot does not round-trip: %v\n%s", err, b.String())
+	}
+	if s := snap.Find("newton_a_total", L("k", "v")); s == nil || s.Value != 4 {
+		t.Fatalf("round-tripped counter = %+v, want 4", s)
+	}
+	h := snap.Find("newton_h_ns")
+	if h == nil || h.Count != 1 || h.Sum != 3 || len(h.Buckets) != 1 || h.Buckets[0].Count != 1 {
+		t.Fatalf("round-tripped histogram = %+v", h)
+	}
+}
+
+func TestWritePathsAllocFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(DefLatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(5)
+		g.Add(-1)
+		h.Observe(777)
+	}); n != 0 {
+		t.Fatalf("instrument write paths allocate: %v allocs/op", n)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("newton_race_total", "")
+	h := reg.Histogram("newton_race_ns", "", DefLatencyBuckets())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(uint64(j))
+				if j%100 == 0 {
+					reg.Gauge("newton_race_g", "", L("i", fmt.Sprint(i))).Set(int64(j))
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = reg.Snapshot()
+			var b strings.Builder
+			_ = reg.WritePrometheus(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("racy counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("racy histogram count = %d, want 8000", got)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("newton_http_total", "").Add(5)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "newton_http_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, path := range []string{"/metrics.json", "/debug/vars"} {
+		body, ctype = get(path)
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("%s is not a JSON snapshot: %v", path, err)
+		}
+		if s := snap.Find("newton_http_total"); s == nil || s.Value != 5 {
+			t.Fatalf("%s snapshot missing counter: %+v", path, s)
+		}
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Fatalf("%s content type = %q", path, ctype)
+		}
+	}
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index looks wrong:\n%s", body)
+	}
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value pair on a series. Families fix their label
+// keys at first registration; every series of a family must carry the
+// same keys in the same order (DESIGN.md §10's cardinality rules).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind classifies a family for exposition.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled member of a family. Exactly one of the value
+// sources is set.
+type series struct {
+	labels []Label
+
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+	cfn func() uint64  // callback counter
+	gfn func() float64 // callback gauge
+}
+
+// value returns the series' scalar value (counters and gauges).
+func (s *series) value() float64 {
+	switch {
+	case s.c != nil:
+		return float64(s.c.Value())
+	case s.g != nil:
+		return float64(s.g.Value())
+	case s.cfn != nil:
+		return float64(s.cfn())
+	case s.gfn != nil:
+		return s.gfn()
+	}
+	return 0
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name      string
+	help      string
+	kind      kind
+	labelKeys []string
+
+	series []*series
+	index  map[string]*series // label-values key -> series
+}
+
+// Registry names instruments into families and renders them. The zero
+// value is not usable; call NewRegistry. Registration is expected at
+// wiring time (daemon startup, query install), not on the packet path:
+// every method takes the registry lock.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// seriesKey joins label values into the family's index key.
+func seriesKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// familyFor returns (creating if needed) the family, enforcing that
+// name, kind, and label keys stay consistent. Mismatched reuse of a
+// name is a programming error and panics, like expvar's Publish.
+func (r *Registry) familyFor(name, help string, k kind, labels []Label) *family {
+	f := r.families[name]
+	if f == nil {
+		keys := make([]string, len(labels))
+		for i, l := range labels {
+			keys[i] = l.Key
+		}
+		f = &family{name: name, help: help, kind: k, labelKeys: keys,
+			index: map[string]*series{}}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, k, f.kind))
+	}
+	if len(f.labelKeys) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with %d labels (family has %d)",
+			name, len(labels), len(f.labelKeys)))
+	}
+	for i, l := range labels {
+		if f.labelKeys[i] != l.Key {
+			panic(fmt.Sprintf("obs: metric %q label %d is %q (family has %q)",
+				name, i, l.Key, f.labelKeys[i]))
+		}
+	}
+	return f
+}
+
+// add registers s under its labels, returning an existing series with
+// the same labels instead when one is already registered (get-or-create
+// for instrument-backed series; callback series always replace, so a
+// reattached subsystem re-binds its closures).
+func (f *family) add(s *series) *series {
+	key := seriesKey(s.labels)
+	if old := f.index[key]; old != nil {
+		if s.cfn != nil || s.gfn != nil {
+			old.c, old.g, old.h = nil, nil, nil
+			old.cfn, old.gfn = s.cfn, s.gfn
+		}
+		return old
+	}
+	f.index[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter returns the registered counter for (name, labels), creating
+// and registering a new one on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindCounter, labels)
+	s := f.add(&series{labels: labels, c: &Counter{}})
+	if s.c == nil {
+		panic(fmt.Sprintf("obs: metric %q series is callback-backed, not a Counter", name))
+	}
+	return s.c
+}
+
+// Gauge returns the registered gauge for (name, labels), creating and
+// registering a new one on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindGauge, labels)
+	s := f.add(&series{labels: labels, g: &Gauge{}})
+	if s.g == nil {
+		panic(fmt.Sprintf("obs: metric %q series is callback-backed, not a Gauge", name))
+	}
+	return s.g
+}
+
+// Histogram returns the registered histogram for (name, labels) with
+// the given bucket bounds, creating one on first use.
+func (r *Registry) Histogram(name, help string, bounds []uint64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindHistogram, labels)
+	s := f.add(&series{labels: labels, h: NewHistogram(bounds)})
+	return s.h
+}
+
+// RegisterHistogram registers an externally owned histogram — the form
+// used when a subsystem creates its instrument before any registry
+// exists (e.g. the module engine's execution-time histogram).
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindHistogram, labels)
+	key := seriesKey(labels)
+	if old := f.index[key]; old != nil {
+		old.h = h
+		return
+	}
+	f.add(&series{labels: labels, h: h})
+}
+
+// CounterFunc registers a callback-backed counter series: fn is
+// evaluated at exposition time, so subsystems with existing internal
+// accounting (ring stats, client retry counts) expose it without
+// double bookkeeping. fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindCounter, labels)
+	f.add(&series{labels: labels, cfn: fn})
+}
+
+// GaugeFunc registers a callback-backed gauge series.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindGauge, labels)
+	f.add(&series{labels: labels, gfn: fn})
+}
+
+// Remove drops the series with the given labels from the named family,
+// reporting whether it existed — how per-query gauges disappear when
+// their query is removed. An empty family stays registered (its HELP
+// and TYPE remain, with no series), which Prometheus tolerates.
+func (r *Registry) Remove(name string, labels ...Label) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return false
+	}
+	key := seriesKey(labels)
+	s := f.index[key]
+	if s == nil {
+		return false
+	}
+	delete(f.index, key)
+	for i, cand := range f.series {
+		if cand == s {
+			f.series = append(f.series[:i], f.series[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// sortedFamilies returns families in name order (stable exposition).
+// Caller holds at least the read lock.
+func (r *Registry) sortedFamilies() []*family {
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

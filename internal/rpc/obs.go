@@ -1,0 +1,53 @@
+package rpc
+
+import (
+	"sync/atomic"
+
+	"github.com/newton-net/newton/internal/obs"
+)
+
+// RegisterObs exposes the agent's control-channel accounting in reg,
+// labeling every family with switch=switchID. Callback-backed: the
+// agent's existing counters are read at scrape time, with no second set
+// of books.
+func (a *Agent) RegisterObs(reg *obs.Registry, switchID string) {
+	sw := obs.L("switch", switchID)
+	reg.CounterFunc("newton_rpc_agent_requests_total",
+		"Control-channel requests dispatched by the agent.",
+		func() uint64 { return atomic.LoadUint64(&a.requests) }, sw)
+	reg.CounterFunc("newton_rpc_agent_replay_hits_total",
+		"Retransmitted requests answered from the replay cache.",
+		func() uint64 { return atomic.LoadUint64(&a.replayHits) }, sw)
+	reg.CounterFunc("newton_rpc_agent_conn_errors_total",
+		"Connection-level errors that were not clean shutdowns.",
+		a.ConnErrors, sw)
+	reg.GaugeFunc("newton_rpc_agent_replay_cache_size",
+		"Entries currently held in the replay cache.",
+		func() float64 {
+			a.mu.Lock()
+			n := len(a.replay)
+			a.mu.Unlock()
+			return float64(n)
+		}, sw)
+}
+
+// RegisterObs exposes the client's call accounting in reg, labeling
+// every family with peer (the agent this client talks to).
+func (c *Client) RegisterObs(reg *obs.Registry, peer string) {
+	p := obs.L("peer", peer)
+	reg.CounterFunc("newton_rpc_client_calls_total",
+		"Logical calls completed (success or failure).",
+		func() uint64 { return atomic.LoadUint64(&c.calls) }, p)
+	reg.CounterFunc("newton_rpc_client_call_errors_total",
+		"Logical calls that failed after exhausting retries.",
+		func() uint64 { return atomic.LoadUint64(&c.callErrs) }, p)
+	reg.CounterFunc("newton_rpc_client_retries_total",
+		"Attempt retries across all calls.",
+		func() uint64 { return atomic.LoadUint64(&c.retries) }, p)
+	reg.CounterFunc("newton_rpc_client_redials_total",
+		"Transport re-establishments after connection loss.",
+		func() uint64 { return atomic.LoadUint64(&c.redials) }, p)
+	reg.RegisterHistogram("newton_rpc_client_call_ns",
+		"Whole-call round-trip latency in ns, retries and backoff included.",
+		c.latency, p)
+}

@@ -34,6 +34,7 @@ import (
 
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/obs"
 )
 
 // MaxFrame bounds one message (a compiled program is a few KB; a report
@@ -212,6 +213,11 @@ type Agent struct {
 	connErrs  uint64
 	servingWG sync.WaitGroup
 
+	// Dispatch accounting (atomic): total requests dispatched and how
+	// many were answered from the replay cache.
+	requests   uint64
+	replayHits uint64
+
 	// Replay cache (under mu): responses to recently executed requests
 	// by request ID, so a retransmitted call — same ID, usually on a
 	// fresh connection after a redial — is answered from cache instead
@@ -378,10 +384,12 @@ func (a *Agent) Close() error {
 func (a *Agent) dispatch(req *Request) *Response {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	atomic.AddUint64(&a.requests, 1)
 	if req.ID != 0 {
 		if cached, ok := a.replay[req.ID]; ok {
 			// A retransmit of a call that already executed: replay the
 			// original response instead of running the op twice.
+			atomic.AddUint64(&a.replayHits, 1)
 			return cached
 		}
 	}
@@ -532,8 +540,15 @@ type Client struct {
 
 	drainAck uint64 // highest drain cursor received (under mu)
 
-	retries uint64
-	redials uint64
+	retries  uint64
+	redials  uint64
+	calls    uint64
+	callErrs uint64
+
+	// latency records whole-call round-trip times (including retries and
+	// backoff sleeps — the latency the caller experienced). Always
+	// allocated, so observation needs no nil check or registration race.
+	latency *obs.Histogram
 }
 
 // reqSeq hands out process-unique request IDs; reqNonce separates
@@ -572,6 +587,7 @@ func NewClientOptions(conn net.Conn, opts Options, redial func() (net.Conn, erro
 		conn: conn, opts: opts, redial: redial,
 		rng:     rand.New(rand.NewSource(opts.Seed + 1)),
 		closeCh: make(chan struct{}),
+		latency: obs.NewHistogram(obs.DefLatencyBuckets()),
 	}
 }
 
@@ -688,9 +704,23 @@ func (c *Client) attempt(conn net.Conn, req *Request) (*Response, error) {
 }
 
 // roundTripLocked performs one logical call with deadlines, retries,
-// and redial. The caller holds c.mu. The request keeps one ID across
-// every attempt, so the agent's replay cache makes retries exactly-once.
+// and redial, recording call count, errors, and whole-call latency
+// (retries and backoff included — what the caller experienced).
 func (c *Client) roundTripLocked(req *Request) (*Response, error) {
+	start := time.Now()
+	resp, err := c.attemptsLocked(req)
+	c.latency.Observe(uint64(time.Since(start)))
+	atomic.AddUint64(&c.calls, 1)
+	if err != nil {
+		atomic.AddUint64(&c.callErrs, 1)
+	}
+	return resp, err
+}
+
+// attemptsLocked is the retry loop behind roundTripLocked. The caller
+// holds c.mu. The request keeps one ID across every attempt, so the
+// agent's replay cache makes retries exactly-once.
+func (c *Client) attemptsLocked(req *Request) (*Response, error) {
 	req.ID = nextReqID()
 	backoff := c.opts.BackoffBase
 	for attempt := 0; ; attempt++ {

@@ -150,3 +150,53 @@ func TestPlanWidthLadderBounds(t *testing.T) {
 		t.Error("missing rejection reason")
 	}
 }
+
+func TestPlanRejectsOnRuleCapacity(t *testing.T) {
+	// The same query over and over stacks rules into the same module
+	// tables; a tiny per-table capacity must eventually reject, and the
+	// reason must say so (width degradation cannot fix rule pressure).
+	var reqs []Request
+	for i := 0; i < 40; i++ {
+		reqs = append(reqs, Request{Query: query.Q1(40), Priority: 1})
+	}
+	b := Budget{Stages: 16, ArraySize: 1 << 30, RulesPerModule: 8}
+	ds := Plan(reqs, b)
+	admitted, rejected := 0, 0
+	for _, d := range ds {
+		if d.Admitted {
+			admitted++
+			continue
+		}
+		rejected++
+		if !strings.Contains(d.Reason, "rule capacity") {
+			t.Fatalf("rejection reason %q, want rule-capacity mention", d.Reason)
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted — capacity test vacuous")
+	}
+	if rejected == 0 {
+		t.Fatal("40 copies all fit into 8 rules per table — no rejection exercised")
+	}
+}
+
+func TestApplyUnsoundPlan(t *testing.T) {
+	// A plan made for a big device must fail loudly when applied to a
+	// smaller one, rather than half-installing.
+	b := Budget{Stages: 16, ArraySize: 1 << 20, RulesPerModule: 1024}
+	ds := Plan([]Request{{Query: query.Q1(40), Priority: 1}}, b)
+	if !ds[0].Admitted {
+		t.Fatalf("Q1 rejected under ample budget: %s", ds[0].Reason)
+	}
+	layout, err := modules.NewLayout(modules.LayoutCompact, 16, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Apply(ds, modules.NewEngine(layout))
+	if err == nil {
+		t.Fatal("Apply succeeded on a device 1/2048th the planned size")
+	}
+	if !strings.Contains(err.Error(), "plan unsound") {
+		t.Fatalf("Apply error %q, want 'plan unsound'", err)
+	}
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"github.com/newton-net/newton/internal/obs"
+	"github.com/newton-net/newton/internal/rpc"
+)
+
+// RegisterObs exposes the exporter's ring and stream accounting in reg,
+// labeled with switch=SwitchID. All series are callback-backed reads of
+// the exporter's existing counters.
+func (e *Exporter) RegisterObs(reg *obs.Registry) {
+	sw := obs.L("switch", e.cfg.SwitchID)
+	reg.GaugeFunc("newton_export_ring_depth",
+		"Reports currently buffered in the export ring.",
+		func() float64 { return float64(e.ring.len()) }, sw)
+	stat := func(get func(s rpc.ExportStats) uint64) func() uint64 {
+		return func() uint64 { return get(e.Stats()) }
+	}
+	reg.CounterFunc("newton_export_enqueued_total",
+		"Reports accepted into the export ring.",
+		stat(func(s rpc.ExportStats) uint64 { return s.Enqueued }), sw)
+	reg.CounterFunc("newton_export_exported_total",
+		"Reports pushed to the analyzer.",
+		stat(func(s rpc.ExportStats) uint64 { return s.Exported }), sw)
+	reg.CounterFunc("newton_export_dropped_total",
+		"Reports lost to ring eviction or stream errors.",
+		stat(func(s rpc.ExportStats) uint64 { return s.Dropped }), sw)
+	reg.CounterFunc("newton_export_overflows_total",
+		"Ring-full events under the drop-oldest policy.",
+		stat(func(s rpc.ExportStats) uint64 { return s.Overflows }), sw)
+	reg.CounterFunc("newton_export_batches_total",
+		"Report frames pushed to the analyzer.",
+		stat(func(s rpc.ExportStats) uint64 { return s.Batches }), sw)
+	reg.CounterFunc("newton_export_snapshots_total",
+		"Epoch state-bank snapshot frames pushed.",
+		stat(func(s rpc.ExportStats) uint64 { return s.Snapshots }), sw)
+	reg.CounterFunc("newton_export_reconnects_total",
+		"Telemetry stream re-establishments.",
+		stat(func(s rpc.ExportStats) uint64 { return s.Reconnects }), sw)
+}
+
+// RegisterObs exposes the analyzer service's merge accounting in reg.
+// Unlabeled: one analyzer per registry.
+func (s *Service) RegisterObs(reg *obs.Registry) {
+	stat := func(get func(st ServiceStats) uint64) func() uint64 {
+		return func() uint64 { return get(s.Stats()) }
+	}
+	reg.GaugeFunc("newton_analyzer_agents",
+		"Agents known to the analyzer.",
+		func() float64 { return float64(s.Stats().Agents) })
+	reg.GaugeFunc("newton_analyzer_live_agents",
+		"Agents with an open telemetry stream right now.",
+		func() float64 { return float64(s.Stats().LiveAgents) })
+	reg.CounterFunc("newton_analyzer_reports_total",
+		"Raw reports ingested (pre-dedup).",
+		stat(func(st ServiceStats) uint64 { return st.Reports }))
+	reg.CounterFunc("newton_analyzer_duplicate_alerts_total",
+		"Reports suppressed by network-wide dedup.",
+		stat(func(st ServiceStats) uint64 { return st.DuplicateAlerts }))
+	reg.CounterFunc("newton_analyzer_snapshots_merged_total",
+		"Snapshot frames merged into network-wide banks.",
+		stat(func(st ServiceStats) uint64 { return st.Snapshots }))
+	reg.CounterFunc("newton_analyzer_subscriber_drops_total",
+		"Events lost to slow subscribers.",
+		stat(func(st ServiceStats) uint64 { return st.SubscriberDrops }))
+	reg.CounterFunc("newton_analyzer_reconnects_total",
+		"Agent streams re-established after a drop.",
+		stat(func(st ServiceStats) uint64 { return st.Reconnects }))
+	reg.CounterFunc("newton_analyzer_epoch_gaps_total",
+		"Snapshot epochs skipped across all agents.",
+		stat(func(st ServiceStats) uint64 { return st.EpochGaps }))
+	reg.CounterFunc("newton_analyzer_partial_epochs_total",
+		"Superseded (query, epoch) merges missing expected contributors.",
+		stat(func(st ServiceStats) uint64 { return st.PartialEpochs }))
+}

@@ -163,6 +163,12 @@ type Service struct {
 	subs    map[int]chan Event
 	nextSub int
 
+	// qEpoch tracks the highest snapshot epoch seen per query; when a
+	// query's epoch advances, the superseded epoch is judged final and
+	// counted partial if expected contributors never delivered it.
+	qEpoch        map[int]uint32
+	partialEpochs uint64
+
 	totalReports   uint64
 	dupAlerts      uint64
 	totalSnapshots uint64
@@ -184,6 +190,7 @@ func NewService(cfg ServiceConfig) *Service {
 		contrib:  map[int]map[uint32]map[string]bool{},
 		seen:     map[alertKey]bool{},
 		subs:     map[int]chan Event{},
+		qEpoch:   map[int]uint32{},
 	}
 }
 
@@ -354,6 +361,22 @@ func (s *Service) ingestSnapshot(agent *agentInfo, switchID string, epoch uint32
 		agent.lastEpoch, agent.hasEpoch = epoch, true
 	}
 	s.recordContribLocked(switchID, epoch, banks)
+	// Partial-result detection: once any contributor moves a query to a
+	// newer epoch, the superseded epoch will not receive more snapshots
+	// in practice — judge it, and count it partial if expected
+	// contributors are still missing. (A heuristic: a very late straggler
+	// could still arrive and merge, but the count flags the gap when it
+	// mattered.)
+	for i := range banks {
+		qid := banks[i].QueryID
+		prev, seen := s.qEpoch[qid]
+		if !seen || epoch > prev {
+			if seen && len(s.missingLocked(qid, prev)) > 0 {
+				s.partialEpochs++
+			}
+			s.qEpoch[qid] = epoch
+		}
+	}
 	for i := range banks {
 		b := &banks[i]
 		bk := bankKey{qid: b.QueryID, part: b.Part, branch: b.Branch, row: b.Row}
@@ -660,6 +683,7 @@ type ServiceStats struct {
 	SubscriberDrops uint64 // events lost to slow subscribers
 	Reconnects      uint64 // agent streams re-established after a drop
 	EpochGaps       uint64 // snapshot epochs skipped across all agents
+	PartialEpochs   uint64 // superseded (query, epoch) merges missing expected contributors
 }
 
 // Stats returns the current ingest counters.
@@ -681,6 +705,7 @@ func (s *Service) Stats() ServiceStats {
 		SubscriberDrops: s.subDropped,
 		Reconnects:      s.reconnects,
 		EpochGaps:       s.epochGaps,
+		PartialEpochs:   s.partialEpochs,
 	}
 }
 

@@ -1,0 +1,90 @@
+// Package version exposes build identity shared by every newton
+// binary: the module version and VCS revision recorded by the Go
+// toolchain, read once via debug.ReadBuildInfo. It backs the -version
+// flag on all cmd/ binaries and the newton_build_info gauge.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"github.com/newton-net/newton/internal/obs"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	Version   string // module version ("(devel)" for local builds)
+	Revision  string // VCS commit, "" when built outside a checkout
+	Modified  bool   // working tree was dirty at build time
+	GoVersion string // toolchain that built the binary
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get reads the binary's build info (memoized; ReadBuildInfo walks the
+// embedded module data on every call).
+func Get() Info {
+	once.Do(func() {
+		cached = Info{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			cached.Version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			cached.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cached.Revision = s.Value
+			case "vcs.modified":
+				cached.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cached
+}
+
+// String renders the one-line -version output for component (the
+// binary's name).
+func String(component string) string {
+	i := Get()
+	s := fmt.Sprintf("%s %s", component, i.Version)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " (" + rev
+		if i.Modified {
+			s += "-dirty"
+		}
+		s += ")"
+	}
+	return s + " " + i.GoVersion
+}
+
+// RegisterObs publishes the standard info-gauge idiom: a constant 1
+// whose labels carry the identity, joinable against any other series.
+func RegisterObs(reg *obs.Registry, component string) {
+	i := Get()
+	rev := i.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	reg.Gauge("newton_build_info",
+		"Build identity; value is always 1, the labels carry the information.",
+		obs.L("component", component),
+		obs.L("version", i.Version),
+		obs.L("revision", rev),
+		obs.L("goversion", i.GoVersion),
+	).Set(1)
+}

@@ -1,0 +1,49 @@
+package version
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/newton-net/newton/internal/obs"
+)
+
+func TestGet(t *testing.T) {
+	i := Get()
+	if i.Version == "" {
+		t.Fatal("Version is empty")
+	}
+	if i.GoVersion == "" || !strings.HasPrefix(i.GoVersion, "go") {
+		t.Fatalf("GoVersion = %q, want a go toolchain version", i.GoVersion)
+	}
+	if Get() != i {
+		t.Fatal("Get is not memoized/stable")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := String("newton-test")
+	if !strings.HasPrefix(s, "newton-test ") {
+		t.Fatalf("String = %q, want component prefix", s)
+	}
+	if !strings.Contains(s, Get().GoVersion) {
+		t.Fatalf("String = %q, want go version included", s)
+	}
+}
+
+func TestRegisterObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterObs(reg, "newton-test")
+	snap := reg.Snapshot()
+	s := snap.Find("newton_build_info", obs.L("component", "newton-test"))
+	if s == nil {
+		t.Fatal("newton_build_info series missing")
+	}
+	if s.Value != 1 {
+		t.Fatalf("info gauge = %v, want 1", s.Value)
+	}
+	for _, k := range []string{"version", "revision", "goversion"} {
+		if s.Labels[k] == "" {
+			t.Fatalf("info gauge missing label %q: %v", k, s.Labels)
+		}
+	}
+}
