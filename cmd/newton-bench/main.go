@@ -50,18 +50,19 @@ func main() {
 	}
 
 	suite := map[string]func() fmt.Stringer{
-		"chaos":      func() fmt.Stringer { return experiments.ChaosRecovery(experiments.ChaosConfig{Seed: *fseed}) },
-		"table3":     func() fmt.Stringer { return experiments.Table3() },
-		"ablation":   func() fmt.Stringer { return experiments.Ablation() },
-		"fig10":      func() fmt.Stringer { return experiments.Fig10Interruption(2000, 40, 20000) },
-		"fig11":      func() fmt.Stringer { return experiments.Fig11OperationDelay(*trials) },
-		"fig12":      func() fmt.Stringer { return experiments.Fig12Overhead(*flows, *dur) },
-		"fig13":      func() fmt.Stringer { return experiments.Fig13CQEOverhead(*hops) },
-		"fig14":      func() fmt.Stringer { return experiments.Fig14Accuracy(nil, 3) },
-		"fig15":      func() fmt.Stringer { return experiments.Fig15Compilation() },
-		"fig16":      func() fmt.Stringer { return experiments.Fig16Multiplexing(nil) },
-		"fig17":      func() fmt.Stringer { return experiments.Fig17Placement() },
-		"throughput": func() fmt.Stringer { return experiments.Throughput(2000, 400*time.Millisecond) },
+		"chaos":       func() fmt.Stringer { return experiments.ChaosRecovery(experiments.ChaosConfig{Seed: *fseed}) },
+		"table3":      func() fmt.Stringer { return experiments.Table3() },
+		"ablation":    func() fmt.Stringer { return experiments.Ablation() },
+		"fig10":       func() fmt.Stringer { return experiments.Fig10Interruption(2000, 40, 20000) },
+		"fig11":       func() fmt.Stringer { return experiments.Fig11OperationDelay(*trials) },
+		"fig12":       func() fmt.Stringer { return experiments.Fig12Overhead(*flows, *dur) },
+		"fig13":       func() fmt.Stringer { return experiments.Fig13CQEOverhead(*hops) },
+		"fig14":       func() fmt.Stringer { return experiments.Fig14Accuracy(nil, 3) },
+		"fig15":       func() fmt.Stringer { return experiments.Fig15Compilation() },
+		"fig16":       func() fmt.Stringer { return experiments.Fig16Multiplexing(nil) },
+		"fig17":       func() fmt.Stringer { return experiments.Fig17Placement() },
+		"fig17deploy": func() fmt.Stringer { return experiments.Fig17Deploy() },
+		"throughput":  func() fmt.Stringer { return experiments.Throughput(2000, 400*time.Millisecond) },
 	}
 	names := make([]string, 0, len(suite))
 	for n := range suite {

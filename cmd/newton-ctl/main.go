@@ -9,6 +9,8 @@
 //	newton-ctl -queries q1 -pcap trace.pcap
 //	newton-ctl -queries q1,q4 -obs-addr 127.0.0.1:9700   # then, elsewhere:
 //	newton-ctl top -addr 127.0.0.1:9700
+//	newton-ctl plan -topology linear:3 -queries q1,q4    # network-wide plan + diff
+//	newton-ctl apply -topology linear:3 -queries q1,q4 -drain s2
 package main
 
 import (
@@ -34,6 +36,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "top" {
 		runTop(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && (os.Args[1] == "plan" || os.Args[1] == "apply") {
+		runOrch(os.Args[1], os.Args[2:])
 		return
 	}
 	var (

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"github.com/newton-net/newton/internal/controller"
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/orchestrator"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/scheduler"
+	"github.com/newton-net/newton/internal/topology"
+)
+
+// runOrch is the `newton-ctl plan` / `newton-ctl apply` entry: build a
+// fleet of in-process agents over the chosen topology, compute the
+// network-wide plan (placement + per-switch budget admission), and
+// either print the typed diff (plan) or drive it through the
+// transactional deploy path (apply). -drain demonstrates re-admission:
+// after the initial deploy, the named switch is drained, the plan is
+// recomputed, and only the delta is applied.
+func runOrch(cmd string, args []string) {
+	fs := flag.NewFlagSet("newton-ctl "+cmd, flag.ExitOnError)
+	var (
+		topoSpec = fs.String("topology", "linear:3", "topology: linear:N, fattree:K, or isp")
+		queries  = fs.String("queries", "q1,q4", "comma-separated catalog queries (q1..q9), priority = listed order")
+		stages   = fs.Int("switch-stages", 8, "pipeline stages of each switch device")
+		arrays   = fs.Uint("registers", 1<<14, "state-bank registers per switch")
+		rules    = fs.Int("rules", 256, "rule capacity per module table")
+		minW     = fs.Uint("min-width", 256, "minimum sketch row width (accuracy floor)")
+		maxW     = fs.Uint("max-width", 4096, "maximum sketch row width")
+		drain    = fs.String("drain", "", "after the initial apply, drain this switch and apply the delta (apply only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	topo, _, _ := buildTopology(*topoSpec)
+	fleet, budgets := buildFleet(topo, *stages, uint32(*arrays), *rules)
+	remote := controller.NewRemote(fleet.clients, 1)
+	orch, err := orchestrator.New(orchestrator.Config{Topo: topo, Budgets: budgets}, remote)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var intents []orchestrator.Intent
+	names := strings.Split(*queries, ",")
+	for i, name := range names {
+		q, err := query.ByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		intents = append(intents, orchestrator.Intent{
+			Query: q, Priority: len(names) - i,
+			MinWidth: uint32(*minW), MaxWidth: uint32(*maxW),
+		})
+	}
+	orch.SetIntents(intents)
+
+	plan, diff, err := orch.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan (%d switches, %d stages/partition):\n%s\ndiff:\n%s",
+		len(budgets), plan.StagesPer, orchestrator.Summary(plan), diff)
+
+	if cmd == "plan" {
+		return
+	}
+
+	if err := orch.Apply(plan, diff); err != nil {
+		log.Fatalf("apply: %v", err)
+	}
+	fmt.Println("\napplied:")
+	fleet.printInstalls()
+
+	if *drain != "" {
+		fmt.Printf("\ndraining %s and re-planning:\n", *drain)
+		orch.Drain(*drain)
+		plan2, diff2, err := orch.Plan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("diff:\n%s", diff2)
+		if err := orch.Apply(plan2, diff2); err != nil {
+			log.Fatalf("delta apply: %v", err)
+		}
+		fmt.Println("\napplied delta:")
+		fleet.printInstalls()
+	}
+}
+
+// orchFleet is a set of in-process switch agents over net.Pipe — the
+// same wiring a real deployment has, minus the network.
+type orchFleet struct {
+	names   []string
+	clients map[string]*rpc.Client
+	engines map[string]*modules.Engine
+}
+
+// buildFleet starts one agent per topology switch with identical
+// budgets.
+func buildFleet(topo *topology.Topology, stages int, arraySize uint32, rules int) (*orchFleet, map[string]scheduler.Budget) {
+	f := &orchFleet{clients: map[string]*rpc.Client{}, engines: map[string]*modules.Engine{}}
+	budgets := map[string]scheduler.Budget{}
+	for _, id := range topo.Switches() {
+		name := topo.Node(id).Name
+		layout, err := modules.NewLayout(modules.LayoutCompact, stages, arraySize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng := modules.NewEngine(layout)
+		sw := dataplane.NewSwitch(name, stages, modules.StageCapacity())
+		sw.Monitor = eng
+		agent := rpc.NewAgent(sw, eng)
+		server, client := net.Pipe()
+		go agent.HandleConn(server)
+		f.names = append(f.names, name)
+		f.clients[name] = rpc.NewClient(client)
+		f.engines[name] = eng
+		budgets[name] = scheduler.Budget{Stages: stages, ArraySize: arraySize, RulesPerModule: rules}
+	}
+	return f, budgets
+}
+
+// printInstalls lists what each switch actually holds — the ground
+// truth the plan is checked against.
+func (f *orchFleet) printInstalls() {
+	for _, name := range f.names {
+		eng := f.engines[name]
+		if eng.InstalledCount() == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s", name)
+		for _, p := range eng.Programs() {
+			fmt.Printf(" %s", p.Name)
+		}
+		fmt.Println()
+	}
+}

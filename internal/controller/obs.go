@@ -19,6 +19,7 @@ type ctlObs struct {
 	rollbackFailures   uint64
 	removes            uint64
 	removeFailures     uint64
+	updates            uint64
 	reconverges        uint64
 	reconvergeFailures uint64
 	ticks              uint64
@@ -57,6 +58,9 @@ func (o *ctlObs) registerCtl(reg *obs.Registry) {
 		"Query removals by outcome.", load(&o.removes), ok)
 	reg.CounterFunc("newton_ctl_removes_total",
 		"Query removals by outcome.", load(&o.removeFailures), errL)
+	reg.CounterFunc("newton_ctl_placement_updates_total",
+		"Placement delta applies (UpdatePlacement calls that committed).",
+		load(&o.updates))
 	reg.CounterFunc("newton_ctl_reconverges_total",
 		"Reconverge passes by outcome.", load(&o.reconverges), ok)
 	reg.CounterFunc("newton_ctl_reconverges_total",

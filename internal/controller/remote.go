@@ -74,6 +74,14 @@ type deploySpec struct {
 	width   uint32
 	names   []string
 	sharded bool
+
+	// Partitioned cross-switch deploy (resilient placement, §5.2):
+	// stagesPer > 0 slices the compiled query into
+	// ceil(stages/stagesPer) partitions and parts maps each agent to the
+	// partition indices it hosts. names is then the sorted key set of
+	// parts.
+	stagesPer int
+	parts     map[string][]int
 }
 
 // Remote is the Newton controller speaking to switch agents over the
@@ -116,6 +124,52 @@ func (s *deploySpec) compileFor(qid int, i int) (*modules.Program, error) {
 	return compiler.Compile(s.q, o)
 }
 
+// programsFor returns the programs agent i of spec's target list must
+// hold: one full (possibly sharded) program in replicate/shard mode, or
+// the agent's assigned partition slices in placement mode. Programs are
+// compiled fresh per agent — register bindings are filled in at install
+// time, so two engines must never share a *Program.
+func (s *deploySpec) programsFor(qid int, i int) ([]*modules.Program, error) {
+	if s.stagesPer <= 0 {
+		p, err := s.compileFor(qid, i)
+		if err != nil {
+			return nil, err
+		}
+		return []*modules.Program{p}, nil
+	}
+	p, err := s.compileFor(qid, i)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := modules.SliceProgram(p, s.stagesPer)
+	if err != nil {
+		return nil, err
+	}
+	name := s.names[i]
+	out := make([]*modules.Program, 0, len(s.parts[name]))
+	for _, k := range s.parts[name] {
+		if k < 0 || k >= len(parts) {
+			return nil, fmt.Errorf("controller: partition %d out of range (query slices into %d)", k, len(parts))
+		}
+		out = append(out, parts[k])
+	}
+	return out, nil
+}
+
+// ownsState reports whether a program holds at least one owning state
+// bank — a PassThrough or CrossRead S op keeps no per-switch state, so a
+// partition made only of those never contributes bank snapshots.
+func ownsState(p *modules.Program) bool {
+	for _, b := range p.Branches {
+		for _, op := range b.Ops {
+			if op.Kind == modules.ModS && op.S != nil && !op.S.PassThrough && !op.S.CrossRead {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // deploy transactionally installs spec on every target: either all
 // switches hold the query afterwards, or none do (already-installed
 // rules are rolled back and a *PartialDeployError describes the
@@ -126,16 +180,29 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 	qid := r.nextQID
 	maxRules := 0
 	var done []string
+	var contributors []string
 
 	mode := "replicate"
-	if spec.sharded {
+	switch {
+	case spec.sharded:
 		mode = "shard"
+	case spec.stagesPer > 0:
+		mode = "placement"
 	}
 
-	fail := func(failed string, installErr error) error {
+	// fail rolls back every agent with at least one installed program —
+	// Remove(qid) on an agent removes all of the qid's partitions, so a
+	// partially-installed agent (placement mode) is covered by including
+	// it in the rollback set.
+	fail := func(failed string, installErr error, failedPartial bool) error {
 		inc(&r.obs.deployFailures)
 		perr := &PartialDeployError{QID: qid, Failed: failed, Mode: mode}
-		for _, n := range done {
+		rollback := done
+		if failedPartial {
+			rollback = append(rollback, failed)
+		}
+		var failedOutcome *DeployOutcome
+		for _, n := range rollback {
 			o := DeployOutcome{Switch: n, Installed: true}
 			if err := r.agents[n].Remove(qid); err == nil || rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
 				o.RolledBack = true
@@ -144,9 +211,15 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 				o.RollbackErr = err
 				inc(&r.obs.rollbackFailures)
 			}
+			if n == failed {
+				o.Err = installErr
+				failedOutcome = &o
+			}
 			perr.Outcomes = append(perr.Outcomes, o)
 		}
-		perr.Outcomes = append(perr.Outcomes, DeployOutcome{Switch: failed, Err: installErr})
+		if failedOutcome == nil {
+			perr.Outcomes = append(perr.Outcomes, DeployOutcome{Switch: failed, Err: installErr})
+		}
 		return perr
 	}
 
@@ -154,21 +227,30 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 	for i, n := range spec.names {
 		c, ok := r.agents[n]
 		if !ok {
-			return 0, 0, fail(n, fmt.Errorf("controller: no agent %q", n))
+			return 0, 0, fail(n, fmt.Errorf("controller: no agent %q", n), false)
 		}
-		p, err := spec.compileFor(qid, i)
+		progs, err := spec.programsFor(qid, i)
 		if err != nil {
-			return 0, 0, fail(n, err)
+			return 0, 0, fail(n, err, false)
 		}
-		if err := c.Install(p); err != nil {
-			return 0, 0, fail(n, fmt.Errorf("controller: agent %q: %w", n, err))
-		}
-		if first == nil {
-			first = p
+		contributes := false
+		for pi, p := range progs {
+			if err := c.Install(p); err != nil {
+				return 0, 0, fail(n, fmt.Errorf("controller: agent %q: %w", n, err), pi > 0)
+			}
+			if first == nil {
+				first = p
+			}
+			if ownsState(p) {
+				contributes = true
+			}
+			if rules := p.RuleCount() + 1; rules > maxRules {
+				maxRules = rules
+			}
 		}
 		done = append(done, n)
-		if rules := p.RuleCount() + 1; rules > maxRules {
-			maxRules = rules
+		if contributes {
+			contributors = append(contributors, n)
 		}
 	}
 	inc(&r.obs.deploys)
@@ -179,7 +261,12 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 	r.deployments[qid] = done
 	r.specs[qid] = spec
 	if r.svc != nil {
-		r.svc.SetExpected(qid, done)
+		// Expected contributors are the agents that own state for this
+		// query, not every deploy member: a placement partition holding
+		// only pass-through or cross-read stages never snapshots a bank,
+		// and pinning it as expected would mark every merged epoch
+		// Partial/Missing forever.
+		r.svc.SetExpected(qid, contributors)
 	}
 	f := 0.9 + 0.2*r.rng.Float64()
 	delay := time.Duration(float64(installBase+time.Duration(maxRules)*installPerRule) * f)
@@ -283,18 +370,158 @@ func (r *Remote) Reconverge() error {
 				inc(&r.obs.reconvergeFailures)
 				return fmt.Errorf("controller: no agent %q", n)
 			}
-			p, err := spec.compileFor(qid, i)
+			progs, err := spec.programsFor(qid, i)
 			if err != nil {
 				inc(&r.obs.reconvergeFailures)
 				return err
 			}
-			if err := c.Install(p); err != nil && !rpc.IsAgentCode(err, rpc.CodeAlreadyInstalled) {
-				inc(&r.obs.reconvergeFailures)
-				return fmt.Errorf("controller: reconverge agent %q: %w", n, err)
+			for _, p := range progs {
+				if err := c.Install(p); err != nil && !rpc.IsAgentCode(err, rpc.CodeAlreadyInstalled) {
+					inc(&r.obs.reconvergeFailures)
+					return fmt.Errorf("controller: reconverge agent %q: %w", n, err)
+				}
 			}
 		}
 	}
 	inc(&r.obs.reconverges)
+	return nil
+}
+
+// InstallPlacement deploys q cross-switch per a resilient-placement
+// assignment (§5.2): the compiled query is sliced into
+// ceil(stages/stagesPer) partitions and each agent in parts installs its
+// assigned partition indices. The deploy is transactional like Install;
+// agents hosting only stateless partitions are excluded from the
+// telemetry service's expected-contributor set so merged epochs carry
+// honest Partial/Missing provenance.
+func (r *Remote) InstallPlacement(q *query.Query, width uint32, stagesPer int, parts map[string][]int) (int, time.Duration, error) {
+	if stagesPer <= 0 {
+		return 0, 0, fmt.Errorf("controller: non-positive stages per switch")
+	}
+	if len(parts) == 0 {
+		return 0, 0, fmt.Errorf("controller: empty placement")
+	}
+	names := make([]string, 0, len(parts))
+	for n := range parts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return r.deploy(&deploySpec{q: q, width: width, names: names, stagesPer: stagesPer, parts: parts})
+}
+
+// Placement returns a copy of a placement deployment's current
+// per-agent partition assignment (nil for replicate/shard deployments
+// or unknown qids).
+func (r *Remote) Placement(qid int) map[string][]int {
+	spec, ok := r.specs[qid]
+	if !ok || spec.stagesPer <= 0 {
+		return nil
+	}
+	out := make(map[string][]int, len(spec.parts))
+	for n, ps := range spec.parts {
+		out[n] = append([]int(nil), ps...)
+	}
+	return out
+}
+
+// UpdatePlacement moves an existing placement deployment to a new
+// per-agent partition assignment, touching only the delta: agents whose
+// assignment is unchanged are not contacted at all (their installed
+// programs stay untouched), dropped or changed agents have the query
+// removed, and added or changed agents install their new partitions.
+// On error the recorded spec keeps the PREVIOUS assignment — a
+// subsequent Reconverge re-drives agents toward that recorded state, so
+// the recovery story is the same as for an agent restart.
+func (r *Remote) UpdatePlacement(qid int, parts map[string][]int) error {
+	spec, ok := r.specs[qid]
+	if !ok {
+		return fmt.Errorf("controller: no deployment %d", qid)
+	}
+	if spec.stagesPer <= 0 {
+		return fmt.Errorf("controller: deployment %d is not a placement deploy", qid)
+	}
+
+	sameParts := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var removes, installs []string
+	for n := range spec.parts {
+		if np, ok := parts[n]; !ok || !sameParts(spec.parts[n], np) {
+			removes = append(removes, n)
+		}
+	}
+	for n := range parts {
+		if op, ok := spec.parts[n]; !ok || !sameParts(op, parts[n]) {
+			installs = append(installs, n)
+		}
+	}
+	sort.Strings(removes)
+	sort.Strings(installs)
+
+	for _, n := range removes {
+		c, ok := r.agents[n]
+		if !ok {
+			continue // a drained agent may already be gone
+		}
+		if err := c.Remove(qid); err != nil && !rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
+			inc(&r.obs.removeFailures)
+			return fmt.Errorf("controller: update agent %q: %w", n, err)
+		}
+	}
+
+	next := &deploySpec{q: spec.q, width: spec.width, stagesPer: spec.stagesPer, parts: parts}
+	for n := range parts {
+		next.names = append(next.names, n)
+	}
+	sort.Strings(next.names)
+	for i, n := range next.names {
+		idx := sort.SearchStrings(installs, n)
+		if idx == len(installs) || installs[idx] != n {
+			continue
+		}
+		c, ok := r.agents[n]
+		if !ok {
+			return fmt.Errorf("controller: no agent %q", n)
+		}
+		progs, err := next.programsFor(qid, i)
+		if err != nil {
+			return err
+		}
+		for _, p := range progs {
+			if err := c.Install(p); err != nil && !rpc.IsAgentCode(err, rpc.CodeAlreadyInstalled) {
+				return fmt.Errorf("controller: update agent %q: %w", n, err)
+			}
+		}
+	}
+
+	r.specs[qid] = next
+	r.deployments[qid] = next.names
+	if r.svc != nil {
+		var contributors []string
+		for i, n := range next.names {
+			progs, err := next.programsFor(qid, i)
+			if err != nil {
+				return err
+			}
+			for _, p := range progs {
+				if ownsState(p) {
+					contributors = append(contributors, n)
+					break
+				}
+			}
+		}
+		r.svc.SetExpected(qid, contributors)
+	}
+	inc(&r.obs.updates)
 	return nil
 }
 

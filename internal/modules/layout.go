@@ -35,6 +35,13 @@ func (k LayoutKind) SuitesPerStage() int {
 	return 1
 }
 
+// InitCapacityFactor sizes the newton_init classifier relative to a
+// module table: the classifier holds one entry per branch of every
+// installed query across all stages, so it gets this multiple of a
+// single module table's rule capacity. The scheduler's admission
+// accounting mirrors the same factor — keep them in lockstep.
+const InitCapacityFactor = 4
+
 // DefaultRulesPerModule is the rule capacity each module table is
 // configured with in the evaluation ("we configure each module to
 // accommodate 256 rules", §6.2).
@@ -139,7 +146,7 @@ func NewLayout(kind LayoutKind, stages int, arraySize uint32) (*Layout, error) {
 		Kind:      kind,
 		ArraySize: arraySize,
 		pipeline:  dataplane.NewPipeline(stages, StageCapacity()),
-		Init:      dataplane.NewTable("newton_init", dataplane.MatchTernary, 6, DefaultRulesPerModule*4),
+		Init:      dataplane.NewTable("newton_init", dataplane.MatchTernary, 6, DefaultRulesPerModule*InitCapacityFactor),
 		Fin:       dataplane.NewTable("newton_fin", dataplane.MatchExact, 1, DefaultRulesPerModule),
 	}
 	for si, st := range l.pipeline.Stages {

@@ -1,0 +1,654 @@
+// Package orchestrator is the network-wide deployment pipeline that
+// joins the repo's planning islands: resilient placement (§5.2) slices
+// each prioritized intent into partitions, per-switch budget-checked
+// admission (the §7 scheduling problem, generalized from one device to
+// the fleet) degrades sketch widths down the accuracy ladder before
+// rejecting, and controller.Remote's transactional deploy pushes the
+// result to the switch agents — with expected telemetry contributors
+// registered so merged epochs carry honest Partial/Missing provenance.
+//
+// Plan is a pure recompute: it never talks to agents. The typed Diff it
+// returns against the recorded deployment is what Apply drives, so a
+// topology or budget change (switch drained, envelope shrunk) touches
+// only the delta — never a full redeploy. newton-ctl surfaces the same
+// split as `plan` (inspect) and `apply` (commit).
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/controller"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/placement"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/scheduler"
+	"github.com/newton-net/newton/internal/topology"
+)
+
+// Intent is one prioritized monitoring request against the network.
+type Intent struct {
+	Query    *query.Query
+	Priority int // higher admits first
+
+	// MinWidth and MaxWidth bound the per-row register width (accuracy
+	// ladder); zero values default like scheduler.WidthLadder.
+	MinWidth, MaxWidth uint32
+
+	// Edges names the switches originating the monitored traffic. Empty
+	// means every edge switch of the topology.
+	Edges []string
+}
+
+// Config describes the fleet the orchestrator plans against. Budget map
+// keys are switch names and must match both topology node names and the
+// agent names controller.Remote was built with.
+type Config struct {
+	Topo    *topology.Topology
+	Budgets map[string]scheduler.Budget
+
+	// StagesPerSwitch is the partition size for cross-switch slicing.
+	// Zero derives min(budget stages) - 2: partitions after the first
+	// carry a two-stage K/H continuation prefix (modules.SliceProgram),
+	// so slicing at the full stage count would produce programs that
+	// cannot fit any device.
+	StagesPerSwitch int
+}
+
+// QueryPlan is the planner's verdict for one intent.
+type QueryPlan struct {
+	Intent   Intent
+	Admitted bool
+	Reason   string // why rejected, or how degraded
+	Width    uint32 // granted register width
+	Stages   int    // compiled logical stage count
+	M        int    // partition count (1 in single-switch mode)
+
+	// Single-switch deploys replicate the full program on Targets;
+	// otherwise Parts maps each switch name to its partition indices.
+	Single  bool
+	Targets []string
+	Parts   map[string][]int
+}
+
+// Plan is one full recompute over the intent set.
+type Plan struct {
+	Queries   []QueryPlan
+	StagesPer int
+}
+
+// Action classifies one diff entry.
+type Action int
+
+const (
+	// ActionInstall deploys a query not currently on the network.
+	ActionInstall Action = iota
+	// ActionUpdate moves an existing placement deploy to a new
+	// assignment, touching only the changed switches.
+	ActionUpdate
+	// ActionRemove uninstalls a deployed query (intent withdrawn, or the
+	// replan rejected it).
+	ActionRemove
+)
+
+// String names the action as `newton-ctl plan` prints it.
+func (a Action) String() string {
+	switch a {
+	case ActionInstall:
+		return "install"
+	case ActionUpdate:
+		return "update"
+	case ActionRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Delta is one operation needed to move the network from the recorded
+// deployment to the new plan.
+type Delta struct {
+	Query  string
+	Action Action
+	QID    int // the deployed qid (update/remove)
+
+	// Per-switch assignment movement for updates: partitions gained and
+	// lost by each switch. Unlisted switches are untouched.
+	Add, Drop map[string][]int
+
+	// Target is the desired end state (install/update).
+	Target QueryPlan
+}
+
+// Diff is the typed plan-vs-deployed delta the operator inspects before
+// Apply commits it. Deltas are ordered removes, then updates, then
+// installs, so freed capacity is available to newcomers.
+type Diff struct {
+	Deltas []Delta
+}
+
+// Empty reports whether the deployment already matches the plan.
+func (d Diff) Empty() bool { return len(d.Deltas) == 0 }
+
+// String renders the diff for operators.
+func (d Diff) String() string {
+	if d.Empty() {
+		return "no changes: deployment matches plan\n"
+	}
+	var b strings.Builder
+	for _, dl := range d.Deltas {
+		fmt.Fprintf(&b, "%-8s %s", dl.Action, dl.Query)
+		switch dl.Action {
+		case ActionRemove:
+			fmt.Fprintf(&b, " (qid %d)", dl.QID)
+		case ActionInstall:
+			if dl.Target.Single {
+				fmt.Fprintf(&b, " width=%d on %s", dl.Target.Width, strings.Join(dl.Target.Targets, ","))
+			} else {
+				fmt.Fprintf(&b, " width=%d %d partitions over %d switches",
+					dl.Target.Width, dl.Target.M, len(dl.Target.Parts))
+			}
+		case ActionUpdate:
+			fmt.Fprintf(&b, " (qid %d)", dl.QID)
+			for _, sw := range sortedKeys(dl.Drop) {
+				fmt.Fprintf(&b, " -%s%v", sw, dl.Drop[sw])
+			}
+			for _, sw := range sortedKeys(dl.Add) {
+				fmt.Fprintf(&b, " +%s%v", sw, dl.Add[sw])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string][]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// deployedState records what Apply committed for one query.
+type deployedState struct {
+	qid  int
+	plan QueryPlan
+}
+
+// Orchestrator owns the fleet's intent set and deployment record.
+type Orchestrator struct {
+	cfg      Config
+	remote   *controller.Remote
+	intents  []Intent
+	drained  map[string]bool
+	deployed map[string]*deployedState
+
+	obs orchObs
+}
+
+// New builds an orchestrator over a remote controller's fleet.
+func New(cfg Config, remote *controller.Remote) (*Orchestrator, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("orchestrator: nil topology")
+	}
+	if len(cfg.Budgets) == 0 {
+		return nil, fmt.Errorf("orchestrator: empty fleet budget set")
+	}
+	for name := range cfg.Budgets {
+		if id := cfg.Topo.NodeByName(name); id < 0 {
+			return nil, fmt.Errorf("orchestrator: budget for unknown switch %q", name)
+		} else if cfg.Topo.Node(id).Kind == topology.Host {
+			return nil, fmt.Errorf("orchestrator: %q is a host, not a switch", name)
+		}
+	}
+	return &Orchestrator{
+		cfg: cfg, remote: remote,
+		drained:  map[string]bool{},
+		deployed: map[string]*deployedState{},
+	}, nil
+}
+
+// SetIntents replaces the intent set. The next Plan/Apply converges the
+// network to it.
+func (o *Orchestrator) SetIntents(intents []Intent) { o.intents = append([]Intent(nil), intents...) }
+
+// Drain excludes a switch from future plans (maintenance, failure). Its
+// installed partitions are removed by the next Apply.
+func (o *Orchestrator) Drain(name string) { o.drained[name] = true }
+
+// Undrain returns a switch to the plannable fleet.
+func (o *Orchestrator) Undrain(name string) { delete(o.drained, name) }
+
+// SetBudget adds or resizes one switch's envelope.
+func (o *Orchestrator) SetBudget(name string, b scheduler.Budget) {
+	o.cfg.Budgets[name] = b
+}
+
+// stagesPer resolves the partition size (see Config.StagesPerSwitch).
+func (o *Orchestrator) stagesPer() int {
+	if o.cfg.StagesPerSwitch > 0 {
+		return o.cfg.StagesPerSwitch
+	}
+	min := 0
+	for _, b := range o.cfg.Budgets {
+		s := scheduler.NewTracker(b).Budget().Stages
+		if min == 0 || s < min {
+			min = s
+		}
+	}
+	if min > 2 {
+		return min - 2
+	}
+	return min
+}
+
+// Plan recomputes placement and admission for every intent, in priority
+// order, against fresh per-switch budget trackers — then diffs the
+// result against the recorded deployment. It is pure: no agent is
+// contacted until Apply.
+func (o *Orchestrator) Plan() (*Plan, Diff, error) {
+	o.obs.inc(&o.obs.plans)
+	trackers := map[string]*scheduler.Tracker{}
+	for name, b := range o.cfg.Budgets {
+		if !o.drained[name] {
+			trackers[name] = scheduler.NewTracker(b)
+		}
+	}
+	if len(trackers) == 0 {
+		return nil, Diff{}, fmt.Errorf("orchestrator: every switch is drained")
+	}
+	stagesPer := o.stagesPer()
+
+	order := make([]int, len(o.intents))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return o.intents[order[a]].Priority > o.intents[order[b]].Priority
+	})
+
+	plans := make([]QueryPlan, len(o.intents))
+	for _, idx := range order {
+		qp := o.planIntent(o.intents[idx], trackers, stagesPer)
+		if qp.Admitted {
+			o.obs.inc(&o.obs.admissions)
+		} else {
+			o.obs.inc(&o.obs.rejections)
+		}
+		plans[idx] = qp
+	}
+	p := &Plan{Queries: plans, StagesPer: stagesPer}
+	return p, o.diff(p), nil
+}
+
+// planIntent walks the width ladder for one intent: at each rung,
+// compile, place, and tentatively admit against cloned trackers; the
+// first rung every touched switch accepts is committed.
+func (o *Orchestrator) planIntent(in Intent, trackers map[string]*scheduler.Tracker, stagesPer int) QueryPlan {
+	qp := QueryPlan{Intent: in}
+	ladder, err := scheduler.WidthLadder(in.MinWidth, in.MaxWidth)
+	if err != nil {
+		qp.Reason = err.Error()
+		return qp
+	}
+	maxW := ladder[0]
+
+	edgeIDs, err := o.resolveEdges(in.Edges)
+	if err != nil {
+		qp.Reason = err.Error()
+		return qp
+	}
+
+	for _, w := range ladder {
+		opts := compiler.AllOpts()
+		opts.QID = 1 // placeholder: admission accounting ignores the qid
+		opts.Width = w
+		p, err := compiler.Compile(in.Query, opts)
+		if err != nil {
+			qp.Reason = err.Error()
+			return qp // compilation failure does not improve with width
+		}
+		stages := p.NumStages()
+
+		single := true
+		for _, id := range edgeIDs {
+			name := o.cfg.Topo.Node(id).Name
+			tr, live := trackers[name]
+			if !live || stages > tr.Budget().Stages {
+				single = false
+				break
+			}
+		}
+
+		var reason string
+		var admitted *QueryPlan
+		if single {
+			admitted, reason = o.admitSingle(in, p, w, stages, edgeIDs, trackers)
+		} else {
+			admitted, reason = o.admitPartitioned(in, w, stages, stagesPer, edgeIDs, trackers, opts)
+		}
+		if admitted != nil {
+			if w != maxW {
+				admitted.Reason = fmt.Sprintf("degraded from %d to %d registers per row", maxW, w)
+			}
+			return *admitted
+		}
+		qp.Reason = reason
+	}
+	if qp.Reason == "" {
+		qp.Reason = "does not fit at any acceptable width"
+	}
+	return qp
+}
+
+// resolveEdges maps intent edge names to topology IDs (all edge
+// switches when empty).
+func (o *Orchestrator) resolveEdges(names []string) ([]int, error) {
+	if len(names) == 0 {
+		ids := o.cfg.Topo.EdgeSwitches()
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("orchestrator: topology has no edge switches")
+		}
+		return ids, nil
+	}
+	ids := make([]int, 0, len(names))
+	for _, n := range names {
+		id := o.cfg.Topo.NodeByName(n)
+		if id < 0 {
+			return nil, fmt.Errorf("orchestrator: unknown edge switch %q", n)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// admitSingle replicates the full program on every monitored edge
+// switch, charging each one's tracker.
+func (o *Orchestrator) admitSingle(in Intent, p *modules.Program, w uint32, stages int, edgeIDs []int, trackers map[string]*scheduler.Tracker) (*QueryPlan, string) {
+	var targets []string
+	clones := map[string]*scheduler.Tracker{}
+	for _, id := range edgeIDs {
+		name := o.cfg.Topo.Node(id).Name
+		tr := trackers[name]
+		c := tr.Clone()
+		if ok, why := c.Fits(p); !ok {
+			return nil, fmt.Sprintf("%s: %s", name, why)
+		}
+		c.Commit(p)
+		clones[name] = c
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	for name, c := range clones {
+		trackers[name] = c
+	}
+	return &QueryPlan{
+		Intent: in, Admitted: true, Width: w, Stages: stages,
+		M: 1, Single: true, Targets: targets,
+	}, ""
+}
+
+// admitPartitioned runs resilient placement over the full topology,
+// restricts the assignment to the live fleet, and charges each switch's
+// tracker for its partitions. Placement is computed on the whole graph —
+// a switch outside the fleet simply cannot host its assignment, which
+// loses redundancy but never correctness, except when partition 0 would
+// vanish entirely (monitored traffic's first hop): that rejects.
+func (o *Orchestrator) admitPartitioned(in Intent, w uint32, stages, stagesPer int, edgeIDs []int, trackers map[string]*scheduler.Tracker, opts compiler.Options) (*QueryPlan, string) {
+	pl, m, err := placement.Place(o.cfg.Topo, edgeIDs, stages, stagesPer)
+	if err != nil {
+		return nil, err.Error()
+	}
+
+	// One sliced instance for admission accounting; Apply's installs
+	// compile fresh per-switch copies inside controller.Remote.
+	logical, err := compiler.Compile(in.Query, opts)
+	if err != nil {
+		return nil, err.Error()
+	}
+	partProgs, err := modules.SliceProgram(logical, stagesPer)
+	if err != nil {
+		return nil, err.Error()
+	}
+
+	parts := map[string][]int{}
+	part0Hosted := false
+	for sw, idxs := range pl {
+		name := o.cfg.Topo.Node(sw).Name
+		if _, live := trackers[name]; !live {
+			continue // not in the fleet, or drained
+		}
+		parts[name] = append([]int(nil), idxs...)
+		for _, k := range idxs {
+			if k == 0 {
+				part0Hosted = true
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return nil, "no live switch can host any partition"
+	}
+	if !part0Hosted {
+		return nil, "no live switch hosts partition 0 (all monitored edge switches drained?)"
+	}
+
+	clones := map[string]*scheduler.Tracker{}
+	for _, name := range sortedKeys(parts) {
+		c := trackers[name].Clone()
+		for _, k := range parts[name] {
+			p := partProgs[k]
+			if ok, why := c.Fits(p); !ok {
+				return nil, fmt.Sprintf("%s (partition %d): %s", name, k, why)
+			}
+			c.Commit(p)
+		}
+		clones[name] = c
+	}
+	for name, c := range clones {
+		trackers[name] = c
+	}
+	return &QueryPlan{
+		Intent: in, Admitted: true, Width: w, Stages: stages,
+		M: m, Parts: parts,
+	}, ""
+}
+
+// diff compares a plan against the recorded deployment.
+func (o *Orchestrator) diff(p *Plan) Diff {
+	var removes, updates, installs []Delta
+	seen := map[string]bool{}
+	for _, qp := range p.Queries {
+		name := qp.Intent.Query.Name
+		seen[name] = true
+		cur, deployed := o.deployed[name]
+		switch {
+		case !qp.Admitted && deployed:
+			removes = append(removes, Delta{Query: name, Action: ActionRemove, QID: cur.qid})
+		case !qp.Admitted:
+			// rejected and not deployed: nothing to do
+		case !deployed:
+			installs = append(installs, Delta{Query: name, Action: ActionInstall, Target: qp})
+		case samePlan(cur.plan, qp):
+			// converged
+		case !cur.plan.Single && !qp.Single &&
+			cur.plan.Width == qp.Width && cur.plan.M == qp.M:
+			add, drop := partsDelta(cur.plan.Parts, qp.Parts)
+			updates = append(updates, Delta{
+				Query: name, Action: ActionUpdate, QID: cur.qid,
+				Add: add, Drop: drop, Target: qp,
+			})
+		default:
+			// Shape changed (mode or width or partition count): replace.
+			removes = append(removes, Delta{Query: name, Action: ActionRemove, QID: cur.qid})
+			installs = append(installs, Delta{Query: name, Action: ActionInstall, Target: qp})
+		}
+	}
+	for name, cur := range o.deployed {
+		if !seen[name] {
+			removes = append(removes, Delta{Query: name, Action: ActionRemove, QID: cur.qid})
+		}
+	}
+	sort.Slice(removes, func(i, j int) bool { return removes[i].Query < removes[j].Query })
+	var d Diff
+	d.Deltas = append(d.Deltas, removes...)
+	d.Deltas = append(d.Deltas, updates...)
+	d.Deltas = append(d.Deltas, installs...)
+	return d
+}
+
+// samePlan reports whether a deployed query already matches its target.
+func samePlan(a, b QueryPlan) bool {
+	if a.Single != b.Single || a.Width != b.Width || a.M != b.M {
+		return false
+	}
+	if a.Single {
+		if len(a.Targets) != len(b.Targets) {
+			return false
+		}
+		for i := range a.Targets {
+			if a.Targets[i] != b.Targets[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if len(a.Parts) != len(b.Parts) {
+		return false
+	}
+	for sw, ap := range a.Parts {
+		if !sameInts(ap, b.Parts[sw]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// partsDelta computes per-switch partition gains and losses.
+func partsDelta(old, new map[string][]int) (add, drop map[string][]int) {
+	add, drop = map[string][]int{}, map[string][]int{}
+	for sw, np := range new {
+		op := old[sw]
+		for _, k := range np {
+			if !containsInt(op, k) {
+				add[sw] = append(add[sw], k)
+			}
+		}
+	}
+	for sw, op := range old {
+		np := new[sw]
+		for _, k := range op {
+			if !containsInt(np, k) {
+				drop[sw] = append(drop[sw], k)
+			}
+		}
+	}
+	return add, drop
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply commits a diff through the remote controller's transactional
+// deploy path, recording each success. It stops at the first error —
+// already-applied deltas stay recorded, so a retry applies only the
+// remainder.
+func (o *Orchestrator) Apply(p *Plan, d Diff) error {
+	for _, dl := range d.Deltas {
+		switch dl.Action {
+		case ActionRemove:
+			if err := o.remote.Remove(dl.QID); err != nil {
+				return fmt.Errorf("orchestrator: remove %s: %w", dl.Query, err)
+			}
+			delete(o.deployed, dl.Query)
+		case ActionUpdate:
+			if err := o.remote.UpdatePlacement(dl.QID, dl.Target.Parts); err != nil {
+				return fmt.Errorf("orchestrator: update %s: %w", dl.Query, err)
+			}
+			o.deployed[dl.Query].plan = dl.Target
+		case ActionInstall:
+			var qid int
+			var err error
+			if dl.Target.Single {
+				qid, _, err = o.remote.Install(dl.Target.Intent.Query, dl.Target.Width, dl.Target.Targets)
+			} else {
+				qid, _, err = o.remote.InstallPlacement(dl.Target.Intent.Query, dl.Target.Width, p.StagesPer, dl.Target.Parts)
+			}
+			if err != nil {
+				return fmt.Errorf("orchestrator: install %s: %w", dl.Query, err)
+			}
+			o.deployed[dl.Query] = &deployedState{qid: qid, plan: dl.Target}
+		}
+		o.obs.inc(&o.obs.deltas)
+	}
+	return nil
+}
+
+// Converge is Plan followed by Apply — the one-call path for callers
+// that do not need to inspect the diff.
+func (o *Orchestrator) Converge() (*Plan, Diff, error) {
+	p, d, err := o.Plan()
+	if err != nil {
+		return nil, Diff{}, err
+	}
+	return p, d, o.Apply(p, d)
+}
+
+// Deployed returns the recorded deployment: query name to (qid, plan).
+func (o *Orchestrator) Deployed() map[string]QueryPlan {
+	out := make(map[string]QueryPlan, len(o.deployed))
+	for name, st := range o.deployed {
+		out[name] = st.plan
+	}
+	return out
+}
+
+// QID returns the deployed qid for a query name (0 if not deployed).
+func (o *Orchestrator) QID(name string) int {
+	if st, ok := o.deployed[name]; ok {
+		return st.qid
+	}
+	return 0
+}
+
+// Summary renders a plan for operators, `scheduler.Summary`-style.
+func Summary(p *Plan) string {
+	var b strings.Builder
+	for _, qp := range p.Queries {
+		status := "REJECTED"
+		detail := qp.Reason
+		if qp.Admitted {
+			status = "admitted"
+			if qp.Single {
+				detail = fmt.Sprintf("width=%d single-switch on %s", qp.Width, strings.Join(qp.Targets, ","))
+			} else {
+				detail = fmt.Sprintf("width=%d %d partitions over %d switches", qp.Width, qp.M, len(qp.Parts))
+			}
+			if qp.Reason != "" {
+				detail += " (" + qp.Reason + ")"
+			}
+		}
+		fmt.Fprintf(&b, "%-26s prio=%-3d %s  %s\n", qp.Intent.Query.Name, qp.Intent.Priority, status, detail)
+	}
+	return b.String()
+}

@@ -22,6 +22,19 @@ type Placement map[int][]int
 // M = ceil(totalStages / stagesPerSwitch) partitions and place partition
 // d on every switch at DFS depth d from the monitored traffic's edge
 // switches.
+//
+// The traversal memoizes (switch, depth) pairs: a switch reached at a
+// depth it was already expanded at is not re-expanded, which bounds the
+// walk to O((V+E)·M) instead of enumerating every simple path — the
+// original formulation (a DFS that unmarked `discovered` on unwind) was
+// exponential on meshy fat-tree topologies. Memoization assigns
+// partition d to every switch reachable by a *walk* of depth d, a
+// superset of the simple-path assignment that coincides with it on the
+// evaluation's topologies (see the package tests) and can only add
+// redundancy elsewhere: every simple path is a walk, so nothing the
+// original algorithm placed is lost, the per-switch partition
+// multiplexing bound is unchanged, and CoversPath over any rerouted
+// path can only improve.
 func Place(topo *topology.Topology, edgeSwitches []int, totalStages, stagesPerSwitch int) (Placement, int, error) {
 	if stagesPerSwitch <= 0 {
 		return nil, 0, fmt.Errorf("placement: non-positive stages per switch")
@@ -31,24 +44,22 @@ func Place(topo *topology.Topology, edgeSwitches []int, totalStages, stagesPerSw
 	}
 	m := (totalStages + stagesPerSwitch - 1) / stagesPerSwitch
 	p := Placement{}
-	discovered := map[int]bool{}
+	type visit struct{ s, d int }
+	expanded := map[visit]bool{}
 
 	var dfs func(s, d int)
 	dfs = func(s, d int) {
-		if d > m {
+		if d > m || expanded[visit{s, d}] {
 			return
 		}
+		expanded[visit{s, d}] = true
 		part := d - 1
 		if !contains(p[s], part) {
 			p[s] = append(p[s], part)
 		}
-		discovered[s] = true
 		for _, n := range topo.SwitchNeighbors(s) {
-			if !discovered[n] {
-				dfs(n, d+1)
-			}
+			dfs(n, d+1)
 		}
-		discovered[s] = false
 	}
 	for _, s := range edgeSwitches {
 		if topo.Node(s).Kind == topology.Host {

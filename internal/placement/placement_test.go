@@ -1,7 +1,9 @@
 package placement
 
 import (
+	"sort"
 	"testing"
+	"time"
 
 	"github.com/newton-net/newton/internal/topology"
 )
@@ -229,5 +231,167 @@ func TestPlaceRandomFailures(t *testing.T) {
 				t.Fatalf("rerouted path %v covers %d/%d", path, got, m)
 			}
 		}
+	}
+}
+
+// placeAllSimplePaths is the pre-fix Algorithm 2: enumerate every simple
+// path out of the monitored edges (the DFS unmarks `discovered` on
+// unwind), assigning partition d-1 to each switch reached at depth d.
+// Kept as the reference the memoized traversal is checked against; it is
+// exponential on meshy topologies, which is exactly why Place no longer
+// works this way.
+func placeAllSimplePaths(topo *topology.Topology, edges []int, totalStages, stagesPerSwitch int) (Placement, int) {
+	m := (totalStages + stagesPerSwitch - 1) / stagesPerSwitch
+	p := Placement{}
+	discovered := map[int]bool{}
+	var dfs func(s, d int)
+	dfs = func(s, d int) {
+		if d > m {
+			return
+		}
+		part := d - 1
+		if !contains(p[s], part) {
+			p[s] = append(p[s], part)
+		}
+		discovered[s] = true
+		for _, n := range topo.SwitchNeighbors(s) {
+			if !discovered[n] {
+				dfs(n, d+1)
+			}
+		}
+		discovered[s] = false
+	}
+	for _, s := range edges {
+		dfs(s, 1)
+	}
+	for s := range p {
+		sort.Ints(p[s])
+	}
+	return p, m
+}
+
+func placementsEqual(a, b Placement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s, parts := range a {
+		other := b[s]
+		if len(other) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if parts[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPlaceMatchesSimplePathReferenceOnSmallGraphs(t *testing.T) {
+	// On the evaluation's topologies the memoized traversal and the
+	// simple-path reference produce identical placements (fat-trees are
+	// bipartite in their switch graph and every walk endpoint is also
+	// simple-path reachable from one of the monitored edges).
+	type cfg struct {
+		name         string
+		topo         *topology.Topology
+		edges        []int
+		total, perSw int
+	}
+	var cases []cfg
+	for _, perSw := range []int{10, 5, 4, 3, 2} {
+		ft := topology.FatTree(4)
+		cases = append(cases, cfg{name: "fattree4/all-edges", topo: ft, edges: ft.EdgeSwitches(), total: 10, perSw: perSw})
+	}
+	ft2 := topology.FatTree(4)
+	cases = append(cases, cfg{name: "fattree4/two-edges", topo: ft2, edges: ft2.EdgeSwitches()[:2], total: 10, perSw: 5})
+	isp := topology.ISPBackbone()
+	ca := []int{isp.NodeByName("SanFrancisco"), isp.NodeByName("Sacramento"),
+		isp.NodeByName("LosAngeles"), isp.NodeByName("SanDiego")}
+	for _, perSw := range []int{11, 6, 4} { // m = 1..3
+		cases = append(cases, cfg{name: "isp/CA-edges", topo: isp, edges: ca, total: 11, perSw: perSw})
+	}
+	lin, _, _ := topology.Linear(5)
+	cases = append(cases, cfg{name: "linear5", topo: lin, edges: lin.EdgeSwitches()[:1], total: 10, perSw: 5})
+
+	for _, tc := range cases {
+		got, gm, err := Place(tc.topo, tc.edges, tc.total, tc.perSw)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, wm := placeAllSimplePaths(tc.topo, tc.edges, tc.total, tc.perSw)
+		if gm != wm {
+			t.Fatalf("%s: partitions %d != %d", tc.name, gm, wm)
+		}
+		if !placementsEqual(got, want) {
+			t.Errorf("%s (stages/sw %d): placement diverged from the simple-path reference\n got: %v\nwant: %v",
+				tc.name, tc.perSw, got, want)
+		}
+	}
+}
+
+func TestPlaceIsSupersetOfSimplePathsAndStillCovers(t *testing.T) {
+	// Where the two traversals diverge (odd cycles reachable by a
+	// backtracking walk), the memoized placement must hold a superset of
+	// the reference on every switch — so nothing the paper's algorithm
+	// placed is lost and path coverage can only improve.
+	for seed := int64(0); seed < 4; seed++ {
+		topo := topology.Random(9, 6, seed)
+		edges := topo.Switches()[:2]
+		got, m, err := Place(topo, edges, 12, 3) // m = 4: deep enough to diverge
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := placeAllSimplePaths(topo, edges, 12, 3)
+		for s, parts := range ref {
+			for _, d := range parts {
+				if !contains(got[s], d) {
+					t.Fatalf("seed %d: memoized placement lost partition %d on switch %d", seed, d, s)
+				}
+			}
+		}
+		for _, src := range edges {
+			for dst := range topo.Switches() {
+				for fseed := uint64(0); fseed < 4; fseed++ {
+					path := topo.SwitchPath(topo.Path(src, topo.Switches()[dst], fseed))
+					if len(path) < m {
+						continue
+					}
+					if got.CoversPath(path, m) < ref.CoversPath(path, m) {
+						t.Fatalf("seed %d: coverage regressed on path %v", seed, path)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlaceFatTree8CompletesInBoundedTime(t *testing.T) {
+	// Regression for the exponential simple-path enumeration: on a k=8
+	// fat-tree with all 128 ToR edges monitored and an 8-partition query,
+	// the pre-fix DFS enumerates ~16^7 walks per edge and effectively
+	// never returns. The memoized traversal is O((V+E)·M).
+	done := make(chan Placement, 1)
+	go func() {
+		topo := topology.FatTree(8)
+		p, _, err := Place(topo, topo.EdgeSwitches(), 16, 2) // m = 8
+		if err != nil {
+			t.Error(err)
+		}
+		done <- p
+	}()
+	select {
+	case p := <-done:
+		if len(p) == 0 {
+			t.Fatal("empty placement")
+		}
+		// Every switch of the fat-tree hosts something at m=8.
+		topo := topology.FatTree(8)
+		if len(p) != len(topo.Switches()) {
+			t.Errorf("placement covers %d switches, want all %d", len(p), len(topo.Switches()))
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Place on a k=8 fat-tree did not complete in 20s — exponential path enumeration is back")
 	}
 }

@@ -126,7 +126,7 @@ type ExportStats struct {
 	Enqueued  uint64 `json:"enqueued"`  // reports offered to the export ring
 	Exported  uint64 `json:"exported"`  // reports written to the stream
 	Dropped   uint64 `json:"dropped"`   // reports lost to drop-oldest overflow
-	Overflows uint64 `json:"overflows"` // ring-full events (blocks or drops)
+	Overflows uint64 `json:"overflows"` // ring-full bursts (one per burst of blocks or evictions)
 	Batches   uint64 `json:"batches"`   // report frames written
 	Snapshots uint64 `json:"snapshots"` // state-bank snapshot frames written
 

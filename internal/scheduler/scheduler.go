@@ -14,6 +14,7 @@ package scheduler
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"github.com/newton-net/newton/internal/compiler"
@@ -64,14 +65,131 @@ type tableKey struct {
 	kind       modules.Kind
 }
 
+// InitCapacity is the newton_init classifier's rule capacity under this
+// budget — the same InitCapacityFactor multiple of a module table the
+// engine's layout allocates, so the planner cannot drift from the
+// allocator it mirrors.
+func (b Budget) InitCapacity() int { return b.RulesPerModule * modules.InitCapacityFactor }
+
+// WidthLadder is the accuracy ladder Plan walks for one request: MaxWidth
+// first, then each power of two strictly between the bounds, then a
+// final MinWidth attempt — so MinWidth is always tried even when it is
+// not MaxWidth/2^k, and no rung except the caller-chosen bounds is a
+// non-power-of-two width. Inverted bounds (MaxWidth < MinWidth) are
+// rejected rather than silently producing an empty ladder.
+func WidthLadder(minW, maxW uint32) ([]uint32, error) {
+	if minW == 0 {
+		minW = 256
+	}
+	if maxW == 0 {
+		maxW = 4096
+	}
+	if maxW < minW {
+		return nil, fmt.Errorf("scheduler: inverted width bounds (min %d > max %d)", minW, maxW)
+	}
+	ladder := []uint32{maxW}
+	if maxW > 1 {
+		// Largest power of two strictly below maxW.
+		for w := uint32(1) << (bits.Len32(maxW-1) - 1); w > minW; w >>= 1 {
+			ladder = append(ladder, w)
+		}
+	}
+	if minW != maxW {
+		ladder = append(ladder, minW)
+	}
+	return ladder, nil
+}
+
+// Tracker accumulates admitted programs' footprints against one
+// device's budget — the per-switch admission state the network-wide
+// orchestrator keeps one of per switch. The zero value is unusable;
+// call NewTracker.
+type Tracker struct {
+	b         Budget
+	regs      map[bankKey]uint32
+	rules     map[tableKey]int
+	initRules int
+}
+
+// NewTracker starts empty accounting against b (zero-valued budgets
+// default like Plan's).
+func NewTracker(b Budget) *Tracker {
+	if b.Stages <= 0 || b.ArraySize == 0 || b.RulesPerModule <= 0 {
+		b = DefaultBudget()
+	}
+	return &Tracker{b: b, regs: map[bankKey]uint32{}, rules: map[tableKey]int{}}
+}
+
+// Budget returns the tracker's device envelope.
+func (t *Tracker) Budget() Budget { return t.b }
+
+// Clone copies the tracker so a multi-switch admission can be checked
+// tentatively and discarded on any switch's rejection.
+func (t *Tracker) Clone() *Tracker {
+	c := &Tracker{b: t.b, regs: make(map[bankKey]uint32, len(t.regs)),
+		rules: make(map[tableKey]int, len(t.rules)), initRules: t.initRules}
+	for k, v := range t.regs {
+		c.regs[k] = v
+	}
+	for k, v := range t.rules {
+		c.rules[k] = v
+	}
+	return c
+}
+
+// Fits checks a compiled program against the remaining budget.
+func (t *Tracker) Fits(p *modules.Program) (bool, string) {
+	if s := p.NumStages(); s > t.b.Stages {
+		return false, fmt.Sprintf("needs %d stages, device has %d", s, t.b.Stages)
+	}
+	wantRegs := map[bankKey]uint32{}
+	wantRules := map[tableKey]int{}
+	branches := 0
+	for _, br := range p.Branches {
+		branches++
+		for _, op := range br.Ops {
+			tk := tableKey{op.Stage, op.Set & 1, op.Kind}
+			wantRules[tk]++
+			if op.Kind == modules.ModS && op.S != nil && !op.S.PassThrough && !op.S.CrossRead {
+				wantRegs[bankKey{op.Stage, op.Set & 1}] += op.Width()
+			}
+		}
+	}
+	for k, w := range wantRegs {
+		if t.regs[k]+w > t.b.ArraySize {
+			return false, fmt.Sprintf("state bank at stage %d set %d needs %d registers, %d free",
+				k.stage, k.set, w, t.b.ArraySize-t.regs[k])
+		}
+	}
+	for k, n := range wantRules {
+		if t.rules[k]+n > t.b.RulesPerModule {
+			return false, fmt.Sprintf("%v table at stage %d set %d out of rule capacity", k.kind, k.stage, k.set)
+		}
+	}
+	if t.initRules+branches > t.b.InitCapacity() {
+		return false, "newton_init out of rule capacity"
+	}
+	return true, ""
+}
+
+// Commit reserves a program's footprint.
+func (t *Tracker) Commit(p *modules.Program) {
+	for _, br := range p.Branches {
+		for _, op := range br.Ops {
+			t.rules[tableKey{op.Stage, op.Set & 1, op.Kind}]++
+			if op.Kind == modules.ModS && op.S != nil && !op.S.PassThrough && !op.S.CrossRead {
+				t.regs[bankKey{op.Stage, op.Set & 1}] += op.Width()
+			}
+		}
+	}
+	t.initRules += len(p.Branches)
+}
+
 // Plan admits requests in priority order (ties broken by arrival order),
 // degrading widths down the ladder before rejecting. The plan never
 // overcommits: register and rule accounting mirrors the engine's
 // allocator exactly.
 func Plan(reqs []Request, b Budget) []Decision {
-	if b.Stages <= 0 || b.ArraySize == 0 || b.RulesPerModule <= 0 {
-		b = DefaultBudget()
-	}
 	order := make([]int, len(reqs))
 	for i := range order {
 		order[i] = i
@@ -80,25 +198,23 @@ func Plan(reqs []Request, b Budget) []Decision {
 		return reqs[order[a]].Priority > reqs[order[c]].Priority
 	})
 
-	regsUsed := map[bankKey]uint32{}
-	rulesUsed := map[tableKey]int{}
-	initRules := 0
+	tracker := NewTracker(b)
 
 	decisions := make([]Decision, len(reqs))
 	qid := 1
 	for _, idx := range order {
 		req := reqs[idx]
 		d := Decision{Request: req}
-		minW, maxW := req.MinWidth, req.MaxWidth
-		if minW == 0 {
-			minW = 256
+		ladder, lerr := WidthLadder(req.MinWidth, req.MaxWidth)
+		if lerr != nil {
+			d.Reason = lerr.Error()
+			decisions[idx] = d
+			continue
 		}
-		if maxW == 0 {
-			maxW = 4096
-		}
+		maxW := ladder[0]
 
 		var lastErr string
-		for w := maxW; w >= minW; w /= 2 {
+		for _, w := range ladder {
 			o := compiler.AllOpts()
 			o.QID = qid
 			o.Width = w
@@ -107,12 +223,11 @@ func Plan(reqs []Request, b Budget) []Decision {
 				lastErr = err.Error()
 				break // compilation failure does not improve with width
 			}
-			if fits, why := fits(p, b, regsUsed, rulesUsed, initRules); !fits {
+			if fits, why := tracker.Fits(p); !fits {
 				lastErr = why
 				continue
 			}
-			commit(p, regsUsed, rulesUsed)
-			initRules += len(p.Branches)
+			tracker.Commit(p)
 			d.Admitted = true
 			d.Width = w
 			d.Program = p
@@ -132,53 +247,6 @@ func Plan(reqs []Request, b Budget) []Decision {
 		decisions[idx] = d
 	}
 	return decisions
-}
-
-// fits checks a compiled program against the remaining budget.
-func fits(p *modules.Program, b Budget, regs map[bankKey]uint32, rules map[tableKey]int, initRules int) (bool, string) {
-	if s := p.NumStages(); s > b.Stages {
-		return false, fmt.Sprintf("needs %d stages, device has %d", s, b.Stages)
-	}
-	wantRegs := map[bankKey]uint32{}
-	wantRules := map[tableKey]int{}
-	branches := 0
-	for _, br := range p.Branches {
-		branches++
-		for _, op := range br.Ops {
-			tk := tableKey{op.Stage, op.Set & 1, op.Kind}
-			wantRules[tk]++
-			if op.Kind == modules.ModS && op.S != nil && !op.S.PassThrough && !op.S.CrossRead {
-				wantRegs[bankKey{op.Stage, op.Set & 1}] += op.Width()
-			}
-		}
-	}
-	for k, w := range wantRegs {
-		if regs[k]+w > b.ArraySize {
-			return false, fmt.Sprintf("state bank at stage %d set %d needs %d registers, %d free",
-				k.stage, k.set, w, b.ArraySize-regs[k])
-		}
-	}
-	for k, n := range wantRules {
-		if rules[k]+n > b.RulesPerModule {
-			return false, fmt.Sprintf("%v table at stage %d set %d out of rule capacity", k.kind, k.stage, k.set)
-		}
-	}
-	if initRules+branches > b.RulesPerModule*4 {
-		return false, "newton_init out of rule capacity"
-	}
-	return true, ""
-}
-
-// commit reserves a program's footprint.
-func commit(p *modules.Program, regs map[bankKey]uint32, rules map[tableKey]int) {
-	for _, br := range p.Branches {
-		for _, op := range br.Ops {
-			rules[tableKey{op.Stage, op.Set & 1, op.Kind}]++
-			if op.Kind == modules.ModS && op.S != nil && !op.S.PassThrough && !op.S.CrossRead {
-				regs[bankKey{op.Stage, op.Set & 1}] += op.Width()
-			}
-		}
-	}
 }
 
 // Apply installs every admitted decision into an engine. The plan's

@@ -200,3 +200,92 @@ func TestApplyUnsoundPlan(t *testing.T) {
 		t.Fatalf("Apply error %q, want 'plan unsound'", err)
 	}
 }
+
+func TestWidthLadderRungs(t *testing.T) {
+	// The pre-fix ladder halved from MaxWidth and stopped above MinWidth,
+	// so MinWidth was only ever tried when it was exactly MaxWidth/2^k —
+	// Min=300/Max=400 tried only 400 — and non-power-of-two MaxWidths
+	// cascaded into non-power-of-two intermediate rungs.
+	cases := []struct {
+		name       string
+		min, max   uint32
+		want       []uint32
+		wantErrSub string
+	}{
+		{name: "skipped rung: min not on the halving chain", min: 300, max: 400, want: []uint32{400, 300}},
+		{name: "pow2 bounds walk the full chain", min: 256, max: 4096, want: []uint32{4096, 2048, 1024, 512, 256}},
+		{name: "non-pow2 min gets a final attempt", min: 300, max: 2048, want: []uint32{2048, 1024, 512, 300}},
+		{name: "non-pow2 max steps down to powers of two", min: 256, max: 1000, want: []uint32{1000, 512, 256}},
+		{name: "equal bounds: single rung", min: 2048, max: 2048, want: []uint32{2048}},
+		{name: "adjacent: max then min", min: 512, max: 1024, want: []uint32{1024, 512}},
+		{name: "defaults applied", min: 0, max: 0, want: []uint32{4096, 2048, 1024, 512, 256}},
+		{name: "inverted bounds rejected", min: 1024, max: 512, wantErrSub: "inverted width bounds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := WidthLadder(tc.min, tc.max)
+			if tc.wantErrSub != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErrSub) {
+					t.Fatalf("err = %v, want %q", err, tc.wantErrSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("ladder = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ladder = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestPlanTriesMinWidthOffTheHalvingChain(t *testing.T) {
+	// Min=300/Max=400 with banks that fit 300 but not 400: the pre-fix
+	// ladder never tried 300 and rejected outright.
+	reqs := []Request{{Query: query.Q1(40), Priority: 1, MinWidth: 300, MaxWidth: 400}}
+	b := Budget{Stages: 16, ArraySize: 350, RulesPerModule: 256}
+	ds := Plan(reqs, b)
+	if !ds[0].Admitted {
+		t.Fatalf("rejected despite MinWidth fitting: %s", ds[0].Reason)
+	}
+	if ds[0].Width != 300 {
+		t.Fatalf("width = %d, want the MinWidth rung 300", ds[0].Width)
+	}
+	if !strings.Contains(ds[0].Reason, "degraded") {
+		t.Errorf("degradation not surfaced: %q", ds[0].Reason)
+	}
+}
+
+func TestPlanRejectsInvertedBoundsWithReason(t *testing.T) {
+	reqs := []Request{{Query: query.Q1(40), Priority: 1, MinWidth: 1024, MaxWidth: 300}}
+	ds := Plan(reqs, Budget{Stages: 16, ArraySize: 1 << 20, RulesPerModule: 1024})
+	if ds[0].Admitted {
+		t.Fatal("admitted with MaxWidth < MinWidth")
+	}
+	if !strings.Contains(ds[0].Reason, "inverted width bounds") {
+		t.Fatalf("reason = %q, want an explicit inverted-bounds rejection", ds[0].Reason)
+	}
+}
+
+func TestInitCapacityMatchesEngineTable(t *testing.T) {
+	// The planner's newton_init accounting must mirror the allocator it
+	// models: the engine's actual classifier capacity, not a drifting
+	// hardcoded multiple.
+	layout, err := modules.NewLayout(modules.LayoutCompact, 12, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DefaultBudget().InitCapacity(), layout.Init.MaxEntries; got != want {
+		t.Fatalf("scheduler init capacity %d != engine newton_init capacity %d", got, want)
+	}
+	b := Budget{Stages: 12, ArraySize: 4096, RulesPerModule: modules.DefaultRulesPerModule * 2}
+	if got, want := b.InitCapacity(), b.RulesPerModule*modules.InitCapacityFactor; got != want {
+		t.Fatalf("InitCapacity %d does not scale with the budget's rule capacity (want %d)", got, want)
+	}
+}

@@ -26,7 +26,7 @@ func (e *Exporter) RegisterObs(reg *obs.Registry) {
 		"Reports lost to ring eviction or stream errors.",
 		stat(func(s rpc.ExportStats) uint64 { return s.Dropped }), sw)
 	reg.CounterFunc("newton_export_overflows_total",
-		"Ring-full events under the drop-oldest policy.",
+		"Ring-full bursts (one per burst, not per blocked or evicted report).",
 		stat(func(s rpc.ExportStats) uint64 { return s.Overflows }), sw)
 	reg.CounterFunc("newton_export_batches_total",
 		"Report frames pushed to the analyzer.",

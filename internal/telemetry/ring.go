@@ -41,10 +41,11 @@ type ring struct {
 	head  int // index of oldest element
 	count int
 
-	closed    bool
-	dropped   uint64 // reports evicted by PolicyDropOldest
-	overflows uint64 // full-ring events (a block or an eviction burst)
-	policy    Policy
+	closed      bool
+	dropped     uint64 // reports evicted by PolicyDropOldest
+	overflows   uint64 // full-ring events: one per burst, however many reports it blocks or evicts
+	overflowing bool   // in an overflow burst; cleared when a drain frees space
+	policy      Policy
 }
 
 func newRing(size int, policy Policy) *ring {
@@ -69,7 +70,13 @@ func (r *ring) put(rs []dataplane.Report) int {
 			break
 		}
 		if r.count == len(r.buf) {
-			r.overflows++
+			// One overflow per burst: consecutive full-ring hits without an
+			// intervening drain are a single event, while `dropped` still
+			// counts every evicted report.
+			if !r.overflowing {
+				r.overflowing = true
+				r.overflows++
+			}
 			switch r.policy {
 			case PolicyBlock:
 				for r.count == len(r.buf) && !r.closed {
@@ -115,6 +122,7 @@ func (r *ring) drainUpTo(max int, dst []dataplane.Report) []dataplane.Report {
 		r.head = (r.head + 1) % len(r.buf)
 	}
 	r.count -= n
+	r.overflowing = false // space freed: the next full ring is a new burst
 	r.notFull.Broadcast()
 	return dst
 }

@@ -66,13 +66,45 @@ func TestRingDropOldestEvictsAndCounts(t *testing.T) {
 	if dropped != 6 {
 		t.Errorf("dropped = %d, want 6", dropped)
 	}
-	if overflows != 6 {
-		t.Errorf("overflows = %d, want 6", overflows)
+	// One full-ring EVENT, not one per evicted report: the six evictions
+	// happen back-to-back with no intervening drain, so they are a single
+	// burst (pre-fix code counted 6 here).
+	if overflows != 1 {
+		t.Errorf("overflows = %d, want 1 (one burst)", overflows)
 	}
 	// The freshest four survive.
 	got := r.drainUpTo(10, nil)
 	if len(got) != 4 || got[0].TS != 6 || got[3].TS != 9 {
 		t.Errorf("survivors = %v, want TS 6..9", got)
+	}
+}
+
+func TestRingOverflowCountsOnePerBurst(t *testing.T) {
+	r := newRing(4, PolicyDropOldest)
+
+	// Burst 1: fill then overrun by 3 in two separate puts — still one
+	// burst because no drain freed space in between.
+	r.put(mkReports(0, 6))
+	r.put(mkReports(6, 1))
+	if dropped, overflows := r.stats(); dropped != 3 || overflows != 1 {
+		t.Fatalf("after burst 1: dropped=%d overflows=%d, want 3/1", dropped, overflows)
+	}
+
+	// A drain frees space and closes the burst.
+	r.drainUpTo(2, nil)
+
+	// Burst 2: refill and overrun again — a new full-ring event.
+	r.put(mkReports(7, 4))
+	if dropped, overflows := r.stats(); dropped != 5 || overflows != 2 {
+		t.Fatalf("after burst 2: dropped=%d overflows=%d, want 5/2", dropped, overflows)
+	}
+
+	// A drain that empties the ring followed by a non-overflowing put
+	// counts nothing.
+	r.drainUpTo(10, nil)
+	r.put(mkReports(20, 2))
+	if _, overflows := r.stats(); overflows != 2 {
+		t.Fatalf("non-overflowing put counted a burst: overflows=%d, want 2", overflows)
 	}
 }
 
