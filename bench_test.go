@@ -10,11 +10,13 @@ package newton
 // tables; these benchmarks track the numbers over time.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"github.com/newton-net/newton/internal/baselines"
 	"github.com/newton-net/newton/internal/compiler"
+	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/experiments"
 	"github.com/newton-net/newton/internal/netsim"
 	"github.com/newton-net/newton/internal/query"
@@ -24,11 +26,12 @@ import (
 
 // throughputNet builds the standard throughput workload: one switch with
 // all nine queries installed and a pre-generated evaluation trace, so the
-// benchmark loop measures nothing but the per-packet fast path.
-func throughputNet(b *testing.B) (*netsim.Network, []int, int, int, []*trace.Trace) {
+// benchmark loop measures nothing but the per-packet fast path. workers
+// sizes the delivery lanes (0 = package default).
+func throughputNet(b *testing.B, workers int) (*netsim.Network, []int, int, int, []*trace.Trace) {
 	b.Helper()
 	topo, h1, h2 := topology.Linear(1)
-	net, err := netsim.New(topo, netsim.Config{Stages: 16, ArraySize: 1 << 16})
+	net, err := netsim.New(topo, netsim.Config{Stages: 16, ArraySize: 1 << 16, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -53,18 +56,29 @@ func throughputNet(b *testing.B) (*netsim.Network, []int, int, int, []*trace.Tra
 
 // BenchmarkPacketThroughput is the headline fast-path number: packets per
 // second through one fully-loaded Newton switch (all nine queries), with
-// allocations per packet on the steady-state path.
+// allocations per packet on the steady-state path. Reports drain through
+// the append form once per trace pass so the loop — including the drain —
+// runs at exactly zero allocations per packet.
 func BenchmarkPacketThroughput(b *testing.B) {
-	net, sws, _, _, trs := throughputNet(b)
+	net, sws, _, _, trs := throughputNet(b, 1)
 	pkts := trs[0].Packets
-	// Warm: one full pass settles register epochs and caches.
-	for _, pkt := range pkts {
-		net.DeliverPath(pkt, sws)
+	// Warm twice: the first pass settles register epochs and caches, the
+	// second grows the report buffers to steady size.
+	var reports []dataplane.Report
+	for p := 0; p < 2; p++ {
+		for _, pkt := range pkts {
+			net.DeliverPath(pkt, sws)
+		}
+		reports = net.DrainReportsAppend(reports[:0])
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.DeliverPath(pkts[i%len(pkts)], sws)
+		k := i % len(pkts)
+		net.DeliverPath(pkts[k], sws)
+		if k == len(pkts)-1 {
+			reports = net.DrainReportsAppend(reports[:0])
+		}
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
@@ -72,14 +86,33 @@ func BenchmarkPacketThroughput(b *testing.B) {
 }
 
 // BenchmarkPacketThroughputBatch drives the same workload through the
-// parallel batch-delivery path (flow-sharded workers, per-worker report
-// buffers) — the path the experiment harness uses. On multi-core hosts
-// this scales with GOMAXPROCS; per-flow ordering is preserved.
+// parallel batch-delivery path (flow-sharded worker lanes, per-lane
+// report sinks) — the path the experiment harness uses. On multi-core
+// hosts this scales with the lane count; per-flow ordering is preserved.
 func BenchmarkPacketThroughputBatch(b *testing.B) {
-	net, _, h1, h2, trs := throughputNet(b)
+	benchBatchWorkers(b, 0)
+}
+
+// BenchmarkPacketThroughputWorkers is the scaling axis of the batch
+// path: the same workload at fixed lane counts 1, 2, 4, and 8. On a
+// single-core host the curve is flat; the CI smoke test gates on it only
+// when enough cores are present.
+func BenchmarkPacketThroughputWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchBatchWorkers(b, w)
+		})
+	}
+}
+
+func benchBatchWorkers(b *testing.B, workers int) {
+	net, _, h1, h2, trs := throughputNet(b, workers)
 	pkts := trs[0].Packets
-	net.DeliverBatch(pkts, h1, h2)
-	net.DrainReports()
+	var reports []dataplane.Report
+	for p := 0; p < 2; p++ { // warm: epochs, caches, buffer sizes
+		net.DeliverBatch(pkts, h1, h2)
+		reports = net.DrainReportsAppend(reports[:0])
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for done := 0; done < b.N; {
@@ -89,6 +122,7 @@ func BenchmarkPacketThroughputBatch(b *testing.B) {
 		}
 		net.DeliverBatch(chunk, h1, h2)
 		done += len(chunk)
+		reports = net.DrainReportsAppend(reports[:0])
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")

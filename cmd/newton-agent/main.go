@@ -24,11 +24,14 @@ import (
 	"log"
 	"net"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/modules"
 	"github.com/newton-net/newton/internal/obs"
+	"github.com/newton-net/newton/internal/packet"
 	"github.com/newton-net/newton/internal/rpc"
 	"github.com/newton-net/newton/internal/telemetry"
 	"github.com/newton-net/newton/internal/trace"
@@ -45,6 +48,7 @@ func main() {
 		loop      = flag.Int("loop", 1, "times to replay the pcap")
 		window    = flag.Duration("window", 100*time.Millisecond, "evaluation window (register epoch)")
 		gap       = flag.Duration("gap", 0, "real-time pause between replay loops")
+		workers   = flag.Int("workers", 1, "replay worker lanes; packets shard by symmetric flow hash (0 = GOMAXPROCS)")
 
 		analyzer  = flag.String("analyzer", "", "analyzer telemetry address ('' = poll-only draining)")
 		policy    = flag.String("export-policy", "block", "export overflow policy: block | drop-oldest")
@@ -60,12 +64,22 @@ func main() {
 		return
 	}
 
+	W := *workers
+	if W <= 0 {
+		W = runtime.GOMAXPROCS(0)
+	}
+	if W < 1 {
+		W = 1
+	}
+
 	layout, err := modules.NewLayout(modules.LayoutCompact, *stages, uint32(*arraySize))
 	if err != nil {
 		log.Fatalf("newton-agent: %v", err)
 	}
 	eng := modules.NewEngine(layout)
+	eng.SetWorkers(W)
 	sw := dataplane.NewSwitch(*name, *stages, modules.StageCapacity())
+	sw.SetLanes(W)
 	if err := sw.AddRoute(0, 0, 1); err != nil {
 		log.Fatal(err)
 	}
@@ -139,13 +153,16 @@ func main() {
 		}
 	}
 	// roll exports the ending epoch's state banks, then rolls the window.
+	// RollEpoch merges worker-private bank shards before the roll (the
+	// snapshot inside ExportEpoch already merged; the second merge is an
+	// idempotent no-op).
 	roll := func() {
 		if exp != nil {
 			if err := exp.ExportEpoch(eng); err != nil {
 				fmt.Fprintf(os.Stderr, "newton-agent: %v\n", err)
 			}
 		}
-		layout.Pipeline().NextEpoch()
+		eng.RollEpoch()
 	}
 
 	if *pcapPath == "" {
@@ -165,15 +182,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "newton-agent: skipped %d undecodable packets\n", skipped)
 	}
 
+	// Replay lanes: each worker owns a context, a report sink, and a shard
+	// buffer, all reused across windows. Packets shard by symmetric flow
+	// hash so both directions of a flow replay in order on one lane; lanes
+	// join at every window boundary before the epoch rolls.
+	type replayLane struct {
+		ctx   *dataplane.Context
+		sink  []dataplane.Report
+		shard []*packet.Packet
+	}
+	lanes := make([]*replayLane, W)
+	for w := range lanes {
+		ln := &replayLane{}
+		ln.ctx = dataplane.NewBatchContext(&ln.sink, w)
+		lanes[w] = ln
+	}
+	var wg sync.WaitGroup
+	processWindow := func(seg []*packet.Packet) {
+		if W == 1 {
+			for _, pkt := range seg {
+				sw.Process(pkt)
+			}
+			return
+		}
+		for _, ln := range lanes {
+			ln.shard = ln.shard[:0]
+		}
+		for _, pkt := range seg {
+			w := int(pkt.Flow().LaneHash() % uint64(W))
+			lanes[w].shard = append(lanes[w].shard, pkt)
+		}
+		wg.Add(W)
+		for w := 0; w < W; w++ {
+			go func(ln *replayLane) {
+				defer wg.Done()
+				for _, pkt := range ln.shard {
+					sw.ProcessCtx(pkt, ln.ctx)
+				}
+			}(lanes[w])
+		}
+		wg.Wait()
+		for _, ln := range lanes {
+			if len(ln.sink) != 0 {
+				sw.AddReports(ln.sink)
+				ln.sink = ln.sink[:0]
+			}
+		}
+	}
+
 	for l := 0; l < *loop; l++ {
 		nextEpoch := uint64(*window)
-		for _, pkt := range pkts {
-			for pkt.TS >= nextEpoch {
+		start := 0
+		for start < len(pkts) {
+			end := start
+			for end < len(pkts) && pkts[end].TS < nextEpoch {
+				end++
+			}
+			if end > start {
+				processWindow(pkts[start:end])
+				start = end
+			}
+			if start < len(pkts) {
+				// The next packet crosses the boundary: flush mirrors,
+				// merge shards, roll the window, then resume.
 				push()
 				roll()
 				nextEpoch += uint64(*window)
 			}
-			sw.Process(pkt)
 		}
 		push()
 		roll()

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/newton-net/newton/internal/experiments"
+	"github.com/newton-net/newton/internal/netsim"
 	"github.com/newton-net/newton/internal/version"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		flows    = flag.Int("flows", 3000, "background flows for trace-driven experiments")
 		dur      = flag.Duration("duration", 500*time.Millisecond, "trace duration (virtual time)")
 		hops     = flag.Int("hops", 5, "maximum hop count for fig13")
+		workers  = flag.Int("workers", 0, "default delivery worker lanes for trace-driven experiments (0 = GOMAXPROCS)")
 		fseed    = flag.Int64("fault-seed", 1, "seed for the chaos experiment's fault injection")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		showVers = flag.Bool("version", false, "print version and exit")
@@ -47,6 +49,10 @@ func main() {
 	if *showVers {
 		fmt.Println(version.String("newton-bench"))
 		return
+	}
+
+	if *workers > 0 {
+		netsim.SetDefaultWorkers(*workers)
 	}
 
 	suite := map[string]func() fmt.Stringer{
@@ -63,6 +69,9 @@ func main() {
 		"fig17":       func() fmt.Stringer { return experiments.Fig17Placement() },
 		"fig17deploy": func() fmt.Stringer { return experiments.Fig17Deploy() },
 		"throughput":  func() fmt.Stringer { return experiments.Throughput(2000, 400*time.Millisecond) },
+		"throughput-scaling": func() fmt.Stringer {
+			return experiments.ThroughputScaling(2000, 400*time.Millisecond, []int{1, 2, 4, 8})
+		},
 	}
 	names := make([]string, 0, len(suite))
 	for n := range suite {

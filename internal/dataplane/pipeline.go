@@ -116,16 +116,26 @@ type Context struct {
 	// partition (§5.1). The deparser applies it after the program runs.
 	OutSP *packet.SPHeader
 
+	// Lane is the delivery worker's index. The sharded delivery contract
+	// is: at any instant, at most one goroutine drives packets with a
+	// given lane, and all packets of one flow use the same lane within an
+	// epoch (netsim shards batches by flow hash and joins workers at
+	// window barriers). Under that discipline every per-lane structure —
+	// switch counters, the engine's dispatch cache and hash memos, report
+	// sinks — is single-writer and needs no locks. Sequential delivery
+	// uses lane 0.
+	Lane int
+
 	// sink, when non-nil, receives mirrored reports instead of the
 	// switch's shared buffer — the per-worker report buffers of parallel
 	// batch delivery.
 	sink *[]Report
 
 	// seq marks the context as sequential: exactly one goroutine is
-	// delivering packets, so counter updates and register transactions
-	// may skip their atomic (LOCK-prefixed) forms. Batch workers leave
-	// it false. Results are identical either way — the atomic forms are
-	// linearizable and the sequential forms never race by construction.
+	// delivering packets, so register transactions may skip their atomic
+	// (LOCK-prefixed) forms. Batch workers leave it false. Results are
+	// identical either way — the atomic forms are linearizable and the
+	// sequential forms never race by construction.
 	seq bool
 
 	sw *Switch
@@ -168,10 +178,27 @@ func (ForwardAction) ActionName() string { return "forward" }
 // ActionName implements Action.
 func (DropAction) ActionName() string { return "drop" }
 
-// Counters tracks a switch's packet counters. The switch updates them
-// atomically so parallel batch delivery counts exactly.
+// Counters tracks a switch's packet counters. The switch keeps one
+// padded copy per delivery lane so parallel batch workers never bounce a
+// shared cacheline; Switch.Counters sums the lanes.
 type Counters struct {
 	Rx, Tx, Dropped uint64
+}
+
+// laneCounters is one lane's private counter block, padded out to a
+// cacheline so adjacent lanes never false-share. Each lane is written by
+// exactly one goroutine (the Context.Lane discipline) with
+// store-after-load atomics: plain MOVs on x86-64 — no LOCK prefix — yet
+// race-detector-clean and torn-read-free for concurrent scrapes.
+type laneCounters struct {
+	rx, tx, dropped uint64
+	_               [5]uint64
+}
+
+// laneBump increments a single-writer counter without a LOCK prefix
+// while keeping concurrent atomic readers exact.
+func laneBump(p *uint64) {
+	atomic.StoreUint64(p, atomic.LoadUint64(p)+1)
 }
 
 // Switch models one programmable switch: an L3 forwarding table (the
@@ -189,9 +216,9 @@ type Switch struct {
 	// Monitor is the installed monitoring program (nil = none).
 	Monitor Program
 
-	up       bool
-	counters Counters
-	reports  []Report
+	up      bool
+	lanes   []laneCounters
+	reports []Report
 
 	// ctx is the reusable per-packet context of the sequential Process
 	// path; keeping it on the switch stops the Context (and its large
@@ -207,7 +234,25 @@ func NewSwitch(id string, stages int, capacity Resources) *Switch {
 		Pipeline:   NewPipeline(stages, capacity),
 		Forwarding: NewTable(id+"/ipv4_lpm", MatchLPM, 1, 1<<20),
 		up:         true,
+		lanes:      make([]laneCounters, 1),
 	}
+}
+
+// SetLanes sizes the switch's per-lane counter blocks for n delivery
+// workers. Call it before parallel delivery starts; counts already
+// accumulated are preserved. Contexts whose Lane is outside the sized
+// range fall back to lane 0 (with LOCK-prefixed updates, since lane 0
+// may then be shared).
+func (sw *Switch) SetLanes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n <= len(sw.lanes) {
+		return
+	}
+	grown := make([]laneCounters, n)
+	copy(grown, sw.lanes)
+	sw.lanes = grown
 }
 
 // Up reports whether the switch is forwarding.
@@ -216,13 +261,16 @@ func (sw *Switch) Up() bool { return sw.up }
 // SetUp changes the switch's liveness (the reboot model's lever).
 func (sw *Switch) SetUp(up bool) { sw.up = up }
 
-// Counters returns a copy of the packet counters.
+// Counters returns the packet counters summed across delivery lanes.
 func (sw *Switch) Counters() Counters {
-	return Counters{
-		Rx:      atomic.LoadUint64(&sw.counters.Rx),
-		Tx:      atomic.LoadUint64(&sw.counters.Tx),
-		Dropped: atomic.LoadUint64(&sw.counters.Dropped),
+	var c Counters
+	for i := range sw.lanes {
+		l := &sw.lanes[i]
+		c.Rx += atomic.LoadUint64(&l.rx)
+		c.Tx += atomic.LoadUint64(&l.tx)
+		c.Dropped += atomic.LoadUint64(&l.dropped)
 	}
+	return c
 }
 
 // AddRoute installs a destination route: prefix/plen -> egress port.
@@ -243,20 +291,33 @@ func (sw *Switch) Process(pkt *packet.Packet) (egress int, forwarded bool) {
 	return sw.ProcessCtx(pkt, &sw.ctx)
 }
 
+// laneOf resolves the counter block for a context. Lanes above 0 (and
+// the sequential lane 0) are single-writer by the Context.Lane contract,
+// so their updates skip the LOCK prefix; a parallel caller that never
+// assigned lanes lands on lane 0 in shared mode and keeps the exact
+// atomic-add discipline.
+func (sw *Switch) laneOf(ctx *Context) (lc *laneCounters, shared bool) {
+	if l := ctx.Lane; l > 0 && l < len(sw.lanes) {
+		return &sw.lanes[l], false
+	}
+	return &sw.lanes[0], !ctx.seq
+}
+
 // ProcessCtx is the re-entrant form of Process: the caller owns the
 // execution context (and, through Context.sink, the report buffer), so
 // any number of workers can push packets through the same switch
-// concurrently. State access stays exact: tables are read through
-// immutable snapshots and register ALU transactions are linearizable.
+// concurrently — each worker with a distinct Context.Lane. State access
+// stays exact: tables are read through immutable snapshots and register
+// ALU transactions are linearizable.
 func (sw *Switch) ProcessCtx(pkt *packet.Packet, ctx *Context) (egress int, forwarded bool) {
-	seq := ctx.seq
-	if seq {
-		sw.counters.Rx++
+	lc, shared := sw.laneOf(ctx)
+	if shared {
+		atomic.AddUint64(&lc.rx, 1)
 	} else {
-		atomic.AddUint64(&sw.counters.Rx, 1)
+		laneBump(&lc.rx)
 	}
 	if !sw.up {
-		sw.drop(seq)
+		sw.drop(lc, shared)
 		return -1, false
 	}
 
@@ -281,42 +342,63 @@ func (sw *Switch) ProcessCtx(pkt *packet.Packet, ctx *Context) (egress int, forw
 
 	rule := sw.Forwarding.Lookup(uint64(pkt.IP.Dst))
 	if rule == nil {
-		sw.drop(seq)
+		sw.drop(lc, shared)
 		return -1, false
 	}
 	switch a := rule.Action.(type) {
 	case ForwardAction:
-		if seq {
-			sw.counters.Tx++
+		if shared {
+			atomic.AddUint64(&lc.tx, 1)
 		} else {
-			atomic.AddUint64(&sw.counters.Tx, 1)
+			laneBump(&lc.tx)
 		}
 		return a.Port, true
 	default:
-		sw.drop(seq)
+		sw.drop(lc, shared)
 		return -1, false
 	}
 }
 
-func (sw *Switch) drop(seq bool) {
-	if seq {
-		sw.counters.Dropped++
+func (sw *Switch) drop(lc *laneCounters, shared bool) {
+	if shared {
+		atomic.AddUint64(&lc.dropped, 1)
 	} else {
-		atomic.AddUint64(&sw.counters.Dropped, 1)
+		laneBump(&lc.dropped)
 	}
 }
 
 // NewBatchContext returns an execution context whose mirrored reports go
-// to the given caller-owned buffer — one per batch worker.
-func NewBatchContext(sink *[]Report) *Context {
-	return &Context{sink: sink}
+// to the given caller-owned buffer — one per batch worker — and whose
+// lane index follows the Context.Lane single-writer discipline.
+func NewBatchContext(sink *[]Report, lane int) *Context {
+	return &Context{sink: sink, Lane: lane}
 }
 
-// DrainReports returns and clears the buffered monitoring reports.
+// DrainReports returns and clears the buffered monitoring reports. The
+// returned slice is handed off to the caller; allocation-sensitive loops
+// should prefer DrainReportsAppend, which reuses the switch's backing
+// buffer.
 func (sw *Switch) DrainReports() []Report {
 	r := sw.reports
 	sw.reports = nil
 	return r
+}
+
+// DrainReportsAppend appends the buffered reports to dst and returns the
+// extended slice, keeping the switch's backing buffer for reuse — the
+// zero-allocation drain of steady-state delivery loops.
+func (sw *Switch) DrainReportsAppend(dst []Report) []Report {
+	dst = append(dst, sw.reports...)
+	sw.reports = sw.reports[:0]
+	return dst
+}
+
+// AddReports appends externally collected reports — typically batch
+// workers' lane sinks after a window barrier — onto the switch's
+// buffered queue so control-plane drains see them alongside the
+// sequential path's mirrors. Single-caller, like Process.
+func (sw *Switch) AddReports(rs []Report) {
+	sw.reports = append(sw.reports, rs...)
 }
 
 // PendingReports returns the number of buffered reports without draining.

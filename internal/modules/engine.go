@@ -3,7 +3,6 @@ package modules
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,26 +25,33 @@ var (
 // dataplane.Program, so a Layout plus an Engine is what "loading the
 // Newton P4 program" yields; every query operation afterwards is a rule
 // operation against the layout's tables.
+//
+// The engine is sharded into lanes (SetWorkers): each delivery worker
+// owns one lane holding its dispatch cache, per-flow hash memos,
+// execution counters, and sampled-latency histogram, so the per-packet
+// path is lock-free under the Context.Lane single-writer discipline.
+// State banks stay shared and linearizable by default (BankShared);
+// BankPrivate gives gate-free sketch rows worker-private shards merged
+// at epoch boundaries — see sharding.go.
 type Engine struct {
 	layout *Layout
 
 	installed map[progKey]*Program
 
-	dispatch dispatchCache
+	// lanes holds the per-worker execution state; lanes[0] always exists
+	// and serves sequential delivery. See engineLane in sharding.go.
+	lanes []*engineLane
 
-	// Execution counters follow the dataplane.Switch discipline: written
-	// plainly in sequential mode, atomically in parallel mode (netsim
-	// separates the phases with barriers), and always read with atomic
-	// loads. Scrapes concurrent with *sequential* delivery are therefore
-	// approximate by design — same as Switch.Counters.
-	pkts           uint64
-	dispatchMisses uint64
-	modExecs       [NumKinds]uint64
+	// bankMode selects the state-bank sharding discipline (sharding.go).
+	bankMode BankMode
 
-	// execNS, when set via AttachObs, receives 1-in-execSampleEvery
-	// sampled whole-Execute latencies. Nil when unobserved so the fast
-	// path pays only a nil check.
-	execNS *obs.Histogram
+	// mergeScratch is MergeWorkers' reusable snapshot buffer.
+	mergeScratch []uint32
+
+	// laneObs, when set via AttachObs, registers per-worker observability
+	// series (sampled-latency histogram) for a lane; SetWorkers invokes
+	// it for lanes created after attach.
+	laneObs func(lane int) *obs.Histogram
 
 	// onChange fires after every successful Install/Remove — how the obs
 	// adapter keeps per-query resource gauges current without scraping
@@ -57,9 +63,9 @@ type Engine struct {
 // partitions of one cross-switch query.
 type progKey struct{ qid, part int }
 
-// NewEngine builds an engine over a loaded layout.
+// NewEngine builds an engine over a loaded layout with one lane.
 func NewEngine(l *Layout) *Engine {
-	return &Engine{layout: l, installed: map[progKey]*Program{}}
+	return &Engine{layout: l, installed: map[progKey]*Program{}, lanes: []*engineLane{new(engineLane)}}
 }
 
 // Layout returns the engine's layout.
@@ -108,66 +114,6 @@ type dispatchEntry struct {
 	hashes  [][]uint64
 }
 
-// dispatchCache memoizes the newton_init LookupAll result per classifier
-// input. Entries are valid only while the classifier's rule-set version
-// is unchanged: every query install/remove bumps the table version,
-// invalidating the whole cache, so a cached chain can never outlive the
-// rules that produced it. Reads take a shared lock (no allocation);
-// misses recompute from the classifier's lock-free snapshot.
-//
-// The hash memo slices inside an entry are written without the lock:
-// a slice belongs to exactly one classifier key, and packet delivery
-// guarantees all packets of one flow are processed by one goroutine at
-// a time (netsim shards batches by flow, with barriers between
-// segments), so those writes are single-writer by construction.
-type dispatchCache struct {
-	mu      sync.RWMutex
-	version uint64
-	entries map[dispatchKey]*dispatchEntry
-}
-
-// lookup returns the cached entry for k at the given classifier version.
-func (c *dispatchCache) lookup(version uint64, k *dispatchKey) *dispatchEntry {
-	c.mu.RLock()
-	if c.version != version || c.entries == nil {
-		c.mu.RUnlock()
-		return nil
-	}
-	e := c.entries[*k]
-	c.mu.RUnlock()
-	return e
-}
-
-// lookupSeq and storeSeq are the lock-free forms for sequential
-// delivery: all cache mutation then happens on the calling goroutine,
-// and netsim separates sequential and parallel delivery phases with
-// barriers, so no lock is needed.
-func (c *dispatchCache) lookupSeq(version uint64, k *dispatchKey) *dispatchEntry {
-	if c.version != version || c.entries == nil {
-		return nil
-	}
-	return c.entries[*k]
-}
-
-func (c *dispatchCache) storeSeq(version uint64, k *dispatchKey, e *dispatchEntry) {
-	if c.version != version || c.entries == nil || len(c.entries) >= maxDispatchEntries {
-		c.entries = make(map[dispatchKey]*dispatchEntry)
-		c.version = version
-	}
-	c.entries[*k] = e
-}
-
-// store records the entry for k at the given classifier version.
-func (c *dispatchCache) store(version uint64, k *dispatchKey, e *dispatchEntry) {
-	c.mu.Lock()
-	if c.version != version || c.entries == nil || len(c.entries) >= maxDispatchEntries {
-		c.entries = make(map[dispatchKey]*dispatchEntry)
-		c.version = version
-	}
-	c.entries[*k] = e
-	c.mu.Unlock()
-}
-
 // InstalledCount returns how many programs are installed.
 func (e *Engine) InstalledCount() int { return len(e.installed) }
 
@@ -185,15 +131,28 @@ func (e *Engine) Programs() []*Program {
 // cheap enough that time.Now on the sampled packet dominates the cost.
 const execSampleMask = 63
 
-// Counters returns the engine's execution counters: packets executed,
-// dispatch-cache misses, and per-module-kind op executions.
+// Counters returns the engine's execution counters summed across lanes:
+// packets executed, dispatch-cache misses, and per-module-kind op
+// executions.
 func (e *Engine) Counters() (pkts, dispatchMisses uint64, execs [NumKinds]uint64) {
-	pkts = atomic.LoadUint64(&e.pkts)
-	dispatchMisses = atomic.LoadUint64(&e.dispatchMisses)
-	for k := range execs {
-		execs[k] = atomic.LoadUint64(&e.modExecs[k])
+	for _, l := range e.lanes {
+		pkts += atomic.LoadUint64(&l.pkts)
+		dispatchMisses += atomic.LoadUint64(&l.dispatchMisses)
+		for k := range execs {
+			execs[k] += atomic.LoadUint64(&l.modExecs[k])
+		}
 	}
 	return pkts, dispatchMisses, execs
+}
+
+// LaneCounters returns one lane's packet and dispatch-miss counters —
+// the per-worker observability surface.
+func (e *Engine) LaneCounters(lane int) (pkts, dispatchMisses uint64) {
+	if lane < 0 || lane >= len(e.lanes) {
+		return 0, 0
+	}
+	l := e.lanes[lane]
+	return atomic.LoadUint64(&l.pkts), atomic.LoadUint64(&l.dispatchMisses)
 }
 
 // Install loads a compiled program: one newton_init entry per branch,
@@ -227,9 +186,12 @@ func (e *Engine) Install(p *Program) (err error) {
 			}
 			op.S.array = e.layout.ArrayAt(op.Stage, op.Set)
 			op.S.offset, op.S.width = off, width
+			e.allocLaneArrays(op.S)
 		}
 	}
-	// Pass 2: bind cross-branch reads to the Row0 banks they target.
+	// Pass 2: bind cross-branch reads to the Row0 banks they target —
+	// including the target's per-lane shards, so a private-mode cross
+	// read observes what its own lane accumulated.
 	for bi, b := range p.Branches {
 		for _, op := range b.Ops {
 			if op.Kind != ModS || op.S == nil || !op.S.CrossRead {
@@ -242,6 +204,7 @@ func (e *Engine) Install(p *Program) (err error) {
 			}
 			op.S.array = target.array
 			op.S.offset, op.S.width = target.offset, target.width
+			op.S.laneArrays = target.laneArrays
 		}
 	}
 	// Pass 3: install rules.
@@ -325,11 +288,20 @@ func pureKeyMask(m *fields.Mask) bool {
 // left behind by another branch, whose execution prefix can vary with
 // register state — and every such K mask keeps only dispatch-key
 // fields.
+//
+// It also marks which state banks are lane-shardable under BankPrivate:
+// a bank decomposes exactly across worker-private shards only when its
+// ALU is commutative-mergeable (Add sums, Or unions) AND no result
+// process runs earlier in the chain. An earlier R can stop the packet
+// based on running state, making the bank's input stream depend on
+// interleaving — such gated banks (and non-commutative Read/Write ALUs)
+// stay on the shared linearizable array.
 func prepareBranch(b *BranchProgram) {
 	b.numH = 0
 	b.hashPure = true
 	var seenK, pureK [2]bool
 	pureK[0], pureK[1] = true, true
+	seenR := false
 	for _, op := range b.Ops {
 		set := op.Set & 1
 		switch op.Kind {
@@ -344,6 +316,13 @@ func prepareBranch(b *BranchProgram) {
 			if !seenK[set] || !pureK[set] {
 				b.hashPure = false
 			}
+		case ModS:
+			if s := op.S; s != nil && !s.PassThrough && !s.CrossRead {
+				s.shardable = !seenR &&
+					(s.ALU == dataplane.OpAdd || s.ALU == dataplane.OpOr)
+			}
+		case ModR:
+			seenR = true
 		}
 	}
 }
@@ -377,6 +356,7 @@ func (e *Engine) rollback(p *Program) {
 					e.layout.FreeRegisters(op.Stage, op.Set, op.S.offset, op.S.width)
 				}
 				op.S.array = nil
+				op.S.laneArrays = nil
 			}
 		}
 		if b.initRuleID != 0 {
@@ -401,22 +381,22 @@ func (finAction) ActionName() string { return "snapshot" }
 // (partitioned programs run only at their partition cursor), and decide
 // the outbound snapshot.
 //
-// Classification goes through the dispatch cache: newton_init's
-// LookupAll result is memoized per classifier input and invalidated
-// whenever the classifier's rule set changes, so the steady-state
-// per-packet path does one map probe instead of a ternary scan — and
-// allocates nothing.
+// Classification goes through the executing lane's dispatch cache:
+// newton_init's LookupAll result is memoized per classifier input and
+// invalidated whenever the classifier's rule set changes, so the
+// steady-state per-packet path does one lock-free map probe instead of
+// a ternary scan — and allocates nothing. The lane (Context.Lane) is
+// single-writer by the delivery contract, so no locks anywhere on this
+// path; all lane counters use store-after-load atomics, which are plain
+// MOVs on x86-64 yet keep concurrent scrape reads exact.
 func (e *Engine) Execute(ctx *dataplane.Context) {
-	seq := ctx.Sequential()
-	var nth uint64
-	if seq {
-		e.pkts++
-		nth = e.pkts
-	} else {
-		nth = atomic.AddUint64(&e.pkts, 1)
+	lane := e.lanes[0]
+	if l := ctx.Lane; l > 0 && l < len(e.lanes) {
+		lane = e.lanes[l]
 	}
+	nth := bump(&lane.pkts)
 	var t0 time.Time
-	timed := e.execNS != nil && nth&execSampleMask == 0
+	timed := lane.execNS != nil && nth&execSampleMask == 0
 	if timed {
 		t0 = time.Now()
 	}
@@ -436,18 +416,9 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 		v.Get(fields.SrcPort)<<32 | v.Get(fields.DstPort)<<16 |
 			v.Get(fields.Proto)<<8 | v.Get(fields.TCPFlags)}
 	version := e.layout.Init.Version()
-	var entry *dispatchEntry
-	if seq {
-		entry = e.dispatch.lookupSeq(version, &key)
-	} else {
-		entry = e.dispatch.lookup(version, &key)
-	}
+	entry := lane.lookup(version, &key)
 	if entry == nil {
-		if seq {
-			e.dispatchMisses++
-		} else {
-			atomic.AddUint64(&e.dispatchMisses, 1)
-		}
+		bump(&lane.dispatchMisses)
 		vals := [6]uint64{
 			v.Get(fields.SrcIP), v.Get(fields.DstIP), v.Get(fields.Proto),
 			v.Get(fields.SrcPort), v.Get(fields.DstPort), v.Get(fields.TCPFlags)}
@@ -467,11 +438,7 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 				entry.hashes[i] = hs
 			}
 		}
-		if seq {
-			e.dispatch.storeSeq(version, &key, entry)
-		} else {
-			e.dispatch.store(version, &key, entry)
-		}
+		lane.store(version, &key, entry)
 	}
 	var ranPart *Program
 	stopped := false
@@ -509,15 +476,11 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 			if n == 0 {
 				continue
 			}
-			if seq {
-				e.modExecs[k] += n
-			} else {
-				atomic.AddUint64(&e.modExecs[k], n)
-			}
+			add(&lane.modExecs[k], n)
 		}
 	}
 	if timed {
-		e.execNS.Observe(uint64(time.Since(t0)))
+		lane.execNS.Observe(uint64(time.Since(t0)))
 	}
 }
 
@@ -530,6 +493,7 @@ func (e *Engine) Execute(ctx *dataplane.Context) {
 func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram, hashes []uint64, execs *uint64) {
 	phv := &ctx.PHV
 	seq := ctx.Sequential()
+	laneIdx := ctx.Lane
 	phv.Stopped = false
 	for _, op := range b.Ops {
 		if phv.Stopped {
@@ -553,7 +517,7 @@ func (e *Engine) runBranch(ctx *dataplane.Context, b *BranchProgram, hashes []ui
 				e.execH(op.H, set, phv)
 			}
 		case ModS:
-			e.execS(op.S, set, phv, seq)
+			e.execS(op.S, set, phv, seq, laneIdx)
 		case ModR:
 			e.execR(ctx, op.R, set, phv)
 		}
@@ -582,7 +546,7 @@ func ownerOf(set *fields.MetadataSet, count uint32, phv *fields.PHV) uint32 {
 	return sketch.FNV1a.Sum(key, 0xBEEF) % count
 }
 
-func (e *Engine) execS(s *SConfig, set *fields.MetadataSet, phv *fields.PHV, seq bool) {
+func (e *Engine) execS(s *SConfig, set *fields.MetadataSet, phv *fields.PHV, seq bool, lane int) {
 	if s.PassThrough {
 		set.StateResult = set.HashResult
 		return
@@ -594,10 +558,20 @@ func (e *Engine) execS(s *SConfig, set *fields.MetadataSet, phv *fields.PHV, seq
 		phv.Stopped = true
 		return
 	}
-	if s.array == nil {
+	arr, base := s.array, s.offset
+	if lane > 0 && lane < len(s.laneArrays) {
+		if la := s.laneArrays[lane]; la != nil {
+			// BankPrivate: this lane owns a private shard of the bank
+			// (allocated from offset 0), merged into the canonical bank at
+			// epoch boundaries. Single-writer, so ExecSeq below is safe
+			// even on the parallel path.
+			arr, base, seq = la, 0, true
+		}
+	}
+	if arr == nil {
 		panic(fmt.Sprintf("modules: state bank op executed before install (qid rule missing)"))
 	}
-	idx := s.offset + uint32(set.HashResult)%s.width
+	idx := base + uint32(set.HashResult)%s.width
 	var operand uint32
 	switch s.Operand {
 	case OperandConst:
@@ -608,9 +582,9 @@ func (e *Engine) execS(s *SConfig, set *fields.MetadataSet, phv *fields.PHV, seq
 		operand = uint32(set.HashResult)
 	}
 	if seq {
-		set.StateResult = uint64(s.array.ExecSeq(s.ALU, idx, operand))
+		set.StateResult = uint64(arr.ExecSeq(s.ALU, idx, operand))
 	} else {
-		set.StateResult = uint64(s.array.Exec(s.ALU, idx, operand))
+		set.StateResult = uint64(arr.Exec(s.ALU, idx, operand))
 	}
 }
 

@@ -121,11 +121,27 @@ func AttachObs(e *Engine, reg *obs.Registry, switchID string) {
 			sw, obs.L("module", kind.String()))
 	}
 
-	h := obs.NewHistogram(obs.ExpBuckets(64, 2, 14)) // 64ns .. ~0.5ms
-	e.execNS = h
-	reg.RegisterHistogram("newton_engine_exec_ns",
-		"Sampled whole-packet engine execution time in ns (1 in 64 packets).",
-		h, sw)
+	// Per-worker series: each engine lane gets its own sampled-latency
+	// histogram and packet/miss counters labeled {switch, worker}. The
+	// hook stays on the engine so lanes created by a later SetWorkers
+	// pick up their series too.
+	e.laneObs = func(lane int) *obs.Histogram {
+		w := obs.L("worker", strconv.Itoa(lane))
+		reg.CounterFunc("newton_engine_worker_packets_total",
+			"Packets executed per engine worker lane.",
+			func() uint64 { p, _ := e.LaneCounters(lane); return p }, sw, w)
+		reg.CounterFunc("newton_engine_worker_dispatch_misses_total",
+			"Dispatch-cache misses per engine worker lane.",
+			func() uint64 { _, m := e.LaneCounters(lane); return m }, sw, w)
+		h := obs.NewHistogram(obs.ExpBuckets(64, 2, 14)) // 64ns .. ~0.5ms
+		reg.RegisterHistogram("newton_engine_exec_ns",
+			"Sampled whole-packet engine execution time in ns (1 in 64 packets), per worker lane.",
+			h, sw, w)
+		return h
+	}
+	for i, l := range e.lanes {
+		l.execNS = e.laneObs(i)
+	}
 
 	var mu sync.Mutex
 	prev := map[int]string{}

@@ -87,11 +87,14 @@ func TestAttachObsEngineCounters(t *testing.T) {
 
 // TestAttachObsZeroAlloc is the acceptance guard for the instrumented
 // fast path: with the full observability surface attached — packet and
-// module-exec counters, sampled latency histogram, per-query gauges —
-// steady-state packet processing must still not allocate.
+// module-exec counters, per-worker sampled latency histograms, per-query
+// gauges — steady-state packet processing must not allocate on the
+// sequential path or on any sharded worker lane.
 func TestAttachObsZeroAlloc(t *testing.T) {
+	const workers = 4
 	l := compactLayout(t)
 	eng := NewEngine(l)
+	eng.SetWorkers(workers)
 	reg := obs.NewRegistry()
 	AttachObs(eng, reg, "s1")
 	if err := eng.Install(buildCountProgram(1, 1<<30, 1024)); err != nil {
@@ -99,6 +102,7 @@ func TestAttachObsZeroAlloc(t *testing.T) {
 	}
 	sw := dataplane.NewSwitch("s1", 8, StageCapacity())
 	sw.AddRoute(0, 0, 1)
+	sw.SetLanes(workers)
 	sw.Monitor = eng
 
 	pkt := synTo(42)
@@ -109,5 +113,18 @@ func TestAttachObsZeroAlloc(t *testing.T) {
 		sw.Process(pkt)
 	}); avg != 0 {
 		t.Fatalf("instrumented steady-state allocs per packet = %v, want 0", avg)
+	}
+
+	// Every worker lane, each with its own dispatch cache, memo, counters,
+	// and {switch, worker}-labeled histogram, must also run allocation-free.
+	for w := 0; w < workers; w++ {
+		var sink []dataplane.Report
+		ctx := dataplane.NewBatchContext(&sink, w)
+		sw.ProcessCtx(pkt, ctx) // warm this lane's cache
+		if avg := testing.AllocsPerRun(200, func() {
+			sw.ProcessCtx(pkt, ctx)
+		}); avg != 0 {
+			t.Fatalf("worker %d steady-state allocs per packet = %v, want 0", w, avg)
+		}
 	}
 }

@@ -74,7 +74,12 @@ func (b *BankSnapshot) Slot(keyBytes []byte) uint32 {
 // epochs read as zero, so the ending window's state is only observable
 // before the roll. Cross-branch reads and pass-through ops own no
 // registers and are skipped.
+// Under BankPrivate, worker-private lane shards are merged into the
+// canonical banks first, so the snapshot — and everything the telemetry
+// plane derives from it (Estimate, SeenDistinct, network-wide merges) —
+// covers the whole window regardless of worker count.
 func (e *Engine) SnapshotBanks() []BankSnapshot {
+	e.MergeWorkers()
 	var out []BankSnapshot
 	for key, p := range e.installed {
 		for bi, b := range p.Branches {

@@ -28,6 +28,17 @@ type Config struct {
 	ArraySize uint32
 	// Window is the query evaluation window (default 100 ms).
 	Window time.Duration
+	// Workers is the delivery worker (lane) count for DeliverBatch:
+	// packets shard across lanes by symmetric flow hash, each lane
+	// owning private engine state (dispatch cache, memos, counters).
+	// 0 uses the package default (DefaultWorkers); 1 forces sequential
+	// delivery.
+	Workers int
+	// PrivateBanks switches every engine to modules.BankPrivate:
+	// shardable state-bank rows get worker-private shards merged at
+	// epoch boundaries instead of shared CAS transactions. See the
+	// BankMode docs for the exactness trade-off.
+	PrivateBanks bool
 }
 
 func (c Config) withDefaults() Config {
@@ -40,8 +51,39 @@ func (c Config) withDefaults() Config {
 	if c.Window == 0 {
 		c.Window = 100 * time.Millisecond
 	}
+	if c.Workers == 0 {
+		c.Workers = DefaultWorkers()
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Workers > maxPoolWorkers {
+		c.Workers = maxPoolWorkers
+	}
 	return c
 }
+
+// defaultWorkers is the process-wide lane count used when Config.Workers
+// is zero. Read/written with atomics so bench harnesses can set it while
+// other goroutines build networks.
+var defaultWorkers int64
+
+// DefaultWorkers returns the default delivery worker count: the last
+// SetDefaultWorkers value, or GOMAXPROCS.
+func DefaultWorkers() int {
+	if w := atomic.LoadInt64(&defaultWorkers); w > 0 {
+		return int(w)
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SetDefaultWorkers overrides the default delivery worker count for
+// subsequently built networks (0 restores GOMAXPROCS).
+func SetDefaultWorkers(n int) { atomic.StoreInt64(&defaultWorkers, int64(n)) }
 
 // Node is one switch of the network: its data plane, module layout, and
 // engine.
@@ -69,7 +111,22 @@ type Network struct {
 
 	outageFrom, outageTo map[int]uint64
 
+	// delivered/dropped count the rare non-lane paths (one-off Deliver
+	// route misses, worker route misses) with shared atomics; the hot
+	// delivery paths count into laneStats. Stats sums both.
 	delivered, dropped uint64
+
+	// workers is the delivery lane count, fixed at New; lanes holds each
+	// worker's persistent delivery state and laneStats its padded
+	// counters. runLane is the one closure handed to the worker pool
+	// (allocated once so steady-state segments allocate nothing), with
+	// segSrc/segDst carrying the current segment's endpoints to it.
+	workers        int
+	lanes          []*netLane
+	laneStats      []laneStat
+	runLane        func(lane int)
+	segSrc, segDst int
+	batchWG        sync.WaitGroup
 
 	// Deferred, when set, receives packets that exit the network still
 	// carrying a result snapshot — a query whose partitions outnumber
@@ -84,9 +141,33 @@ type Network struct {
 	// batchReports accumulates the merged per-worker report buffers of
 	// DeliverBatch until DrainReports.
 	batchReports []dataplane.Report
+}
 
-	// shards are the reusable per-worker packet buffers of DeliverBatch.
-	shards [][]*packet.Packet
+// netLane is one delivery worker's persistent state: its execution
+// context, report sink, resolved-path cache, and segment shard buffer.
+// All of it is reused across segments and batches, so the steady-state
+// parallel path allocates nothing.
+type netLane struct {
+	ctx  *dataplane.Context
+	sink []dataplane.Report
+	// cache memoizes resolved ECMP paths by flow seed; valid for the
+	// (src, dst) endpoint pair it was filled under.
+	cache    map[uint64]cachedPath
+	src, dst int
+	shard    []*packet.Packet
+}
+
+// laneStat is one lane's delivery counters, padded to a cacheline so
+// parallel workers never false-share; single-writer, read atomically.
+type laneStat struct {
+	delivered, dropped uint64
+	_                  [6]uint64
+}
+
+// bumpStat increments a single-writer counter without a LOCK prefix
+// while keeping concurrent atomic readers exact.
+func bumpStat(p *uint64) {
+	atomic.StoreUint64(p, atomic.LoadUint64(p)+1)
 }
 
 // New builds a network with a Newton switch per topology switch node.
@@ -97,6 +178,7 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 		nodes:      map[int]*Node{},
 		nextEpoch:  uint64(cfg.Window),
 		outageFrom: map[int]uint64{}, outageTo: map[int]uint64{},
+		workers: cfg.Workers,
 	}
 	for _, id := range topo.Switches() {
 		layout, err := modules.NewLayout(modules.LayoutCompact, cfg.Stages, cfg.ArraySize)
@@ -104,7 +186,12 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("netsim: switch %s: %w", topo.Node(id).Name, err)
 		}
 		eng := modules.NewEngine(layout)
+		eng.SetWorkers(cfg.Workers)
+		if cfg.PrivateBanks {
+			eng.SetBankMode(modules.BankPrivate)
+		}
 		dp := dataplane.NewSwitch(topo.Node(id).Name, cfg.Stages, modules.StageCapacity())
+		dp.SetLanes(cfg.Workers)
 		if err := dp.AddRoute(0, 0, 1); err != nil {
 			return nil, err
 		}
@@ -118,8 +205,25 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 		}
 		n.nodesByID[id] = node
 	}
+	n.lanes = make([]*netLane, cfg.Workers)
+	for w := range n.lanes {
+		ln := &netLane{cache: map[uint64]cachedPath{}, src: -1, dst: -1}
+		ln.ctx = dataplane.NewBatchContext(&ln.sink, w)
+		n.lanes[w] = ln
+	}
+	n.laneStats = make([]laneStat, cfg.Workers)
+	n.runLane = func(w int) {
+		ln := n.lanes[w]
+		src, dst := n.segSrc, n.segDst
+		for _, pkt := range ln.shard {
+			n.deliverCached(pkt, src, dst, ln.ctx, ln.cache)
+		}
+	}
 	return n, nil
 }
+
+// Workers returns the delivery lane count the network was built with.
+func (n *Network) Workers() int { return n.workers }
 
 // Node returns the switch node with the given topology ID.
 func (n *Network) Node(id int) *Node { return n.nodes[id] }
@@ -146,7 +250,10 @@ func (n *Network) AdvanceTo(ts uint64) {
 func (n *Network) rollEpochs(ts uint64) {
 	for ts >= n.nextEpoch {
 		for _, node := range n.nodes {
-			node.Layout.Pipeline().NextEpoch()
+			// RollEpoch folds worker-private bank shards into the
+			// canonical arrays (BankPrivate) before rolling the register
+			// epoch — the mandated roll entry point for sharded engines.
+			node.Eng.RollEpoch()
 		}
 		n.nextEpoch += uint64(n.Cfg.Window)
 	}
@@ -217,8 +324,15 @@ func (n *Network) DeliverPath(pkt *packet.Packet, switches []int) bool {
 // deliverOn walks a packet along a switch path without touching the
 // shared clock. ctx, when non-nil, is the caller-owned (batch worker)
 // execution context; nil uses each switch's sequential context.
+//
+// Delivery counters go to the context's lane slot: within a batch each
+// lane is driven by exactly one worker, and the non-batch paths (nil
+// ctx) are caller-serialized on lane 0, so every slot is single-writer.
 func (n *Network) deliverOn(pkt *packet.Packet, switches []int, ctx *dataplane.Context) bool {
-	seq := ctx == nil
+	st := &n.laneStats[0]
+	if ctx != nil && ctx.Lane > 0 && ctx.Lane < len(n.laneStats) {
+		st = &n.laneStats[ctx.Lane]
+	}
 	pkt.SP = nil // hosts never send result snapshots
 	for _, id := range switches {
 		var node *Node
@@ -226,11 +340,11 @@ func (n *Network) deliverOn(pkt *packet.Packet, switches []int, ctx *dataplane.C
 			node = n.nodesByID[id]
 		}
 		if node == nil {
-			n.drop(seq)
+			bumpStat(&st.dropped)
 			return false
 		}
 		if len(n.outageTo) != 0 && n.inOutageAt(id, pkt.TS) {
-			n.drop(seq)
+			bumpStat(&st.dropped)
 			return false
 		}
 		var forwarded bool
@@ -240,7 +354,7 @@ func (n *Network) deliverOn(pkt *packet.Packet, switches []int, ctx *dataplane.C
 			_, forwarded = node.DP.Process(pkt)
 		}
 		if !forwarded {
-			n.drop(seq)
+			bumpStat(&st.dropped)
 			return false
 		}
 	}
@@ -256,22 +370,8 @@ func (n *Network) deliverOn(pkt *packet.Packet, switches []int, ctx *dataplane.C
 		}
 		pkt.SP = nil
 	}
-	if seq {
-		n.delivered++
-	} else {
-		atomic.AddUint64(&n.delivered, 1)
-	}
+	bumpStat(&st.delivered)
 	return true
-}
-
-// drop counts a dropped packet; the sequential (single-goroutine) path
-// skips the atomic update.
-func (n *Network) drop(seq bool) {
-	if seq {
-		n.dropped++
-	} else {
-		atomic.AddUint64(&n.dropped, 1)
-	}
 }
 
 // minParallelSegment is the segment size below which DeliverBatch stays
@@ -279,25 +379,24 @@ func (n *Network) drop(seq bool) {
 const minParallelSegment = 64
 
 // DeliverBatch delivers a time-ordered packet batch from srcHost to
-// dstHost, parallelized across flows. Packets are sharded by flow key
-// over up to GOMAXPROCS workers, so packets of one flow stay in order
-// on one worker while distinct flows proceed concurrently. Each worker
-// mirrors reports into its own buffer (merged into DrainReports's
-// output), and the batch is split at query-window boundaries: all
-// packets of a window are processed, the workers join at a barrier, the
-// register epochs roll, and the next window begins — exactly the epoch
-// discipline of sequential delivery.
+// dstHost, parallelized across flows. Packets are sharded over the
+// network's delivery lanes (Config.Workers) by symmetric flow hash, so
+// both directions of a flow stay in order on one lane while distinct
+// flows proceed concurrently. Each lane mirrors reports into its own
+// persistent sink (merged into DrainReports's output), and the batch is
+// split at query-window boundaries: all packets of a window are
+// processed, the lanes join at a barrier, worker-private bank shards
+// merge, the register epochs roll, and the next window begins — exactly
+// the epoch discipline of sequential delivery.
 //
 // Switch state stays exact under parallelism: tables are read through
 // immutable copy-on-write snapshots and every register ALU transaction
-// is a linearizable compare-and-swap, so windowed counts, delivery
-// counters, and report volumes match sequential delivery. Query
-// installs/removals must not run concurrently with a batch.
+// is a linearizable compare-and-swap (or a worker-private shard merged
+// at the barrier), so windowed counts, delivery counters, and report
+// volumes match sequential delivery. Query installs/removals must not
+// run concurrently with a batch.
 func (n *Network) DeliverBatch(pkts []*packet.Packet, srcHost, dstHost int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 1 {
-		workers = 1
-	}
+	workers := n.workers
 	start := 0
 	for start < len(pkts) {
 		// Extend the segment until a packet crosses the next window
@@ -318,48 +417,56 @@ func (n *Network) DeliverBatch(pkts []*packet.Packet, srcHost, dstHost int) {
 	}
 }
 
-// deliverSegment processes one window's worth of packets across workers.
+// deliverSegment processes one window's worth of packets across the
+// delivery lanes. Lane state (context, path cache, shard buffer, report
+// sink) persists on the Network and the worker goroutines live in the
+// process-wide pool, so the steady-state segment allocates nothing.
 func (n *Network) deliverSegment(pkts []*packet.Packet, srcHost, dstHost, workers int) {
 	if workers == 1 || len(pkts) < minParallelSegment {
-		cache := map[uint64]cachedPath{}
+		ln := n.lanes[0]
+		n.laneCache(ln, srcHost, dstHost)
 		for _, pkt := range pkts {
-			n.deliverCached(pkt, srcHost, dstHost, nil, cache)
+			n.deliverCached(pkt, srcHost, dstHost, ln.ctx, ln.cache)
 		}
+		n.collectSinks(n.lanes[:1])
 		return
 	}
 
-	// Shard by flow key: one worker owns all packets of a flow.
-	if len(n.shards) < workers {
-		n.shards = make([][]*packet.Packet, workers)
-	}
-	shards := n.shards[:workers]
-	for w := range shards {
-		shards[w] = shards[w][:0]
+	// Shard by symmetric flow hash: one lane owns all packets of a flow
+	// (both directions), keeping per-flow order and lane-private engine
+	// state coherent.
+	lanes := n.lanes[:workers]
+	for _, ln := range lanes {
+		ln.shard = ln.shard[:0]
+		n.laneCache(ln, srcHost, dstHost)
 	}
 	for _, pkt := range pkts {
-		w := int(flowSeed(pkt) % uint64(workers))
-		shards[w] = append(shards[w], pkt)
+		w := int(pkt.Flow().LaneHash() % uint64(workers))
+		lanes[w].shard = append(lanes[w].shard, pkt)
 	}
+	n.segSrc, n.segDst = srcHost, dstHost
+	poolDo(workers, &n.batchWG, n.runLane)
+	n.collectSinks(lanes)
+}
 
-	var wg sync.WaitGroup
-	sinks := make([][]dataplane.Report, workers)
-	for w := 0; w < workers; w++ {
-		if len(shards[w]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ctx := dataplane.NewBatchContext(&sinks[w])
-			cache := map[uint64]cachedPath{}
-			for _, pkt := range shards[w] {
-				n.deliverCached(pkt, srcHost, dstHost, ctx, cache)
-			}
-		}(w)
+// laneCache readies a lane's ECMP path cache for the (src, dst) pair,
+// flushing it when the endpoints change (entries are only valid for the
+// pair they were resolved under).
+func (n *Network) laneCache(ln *netLane, src, dst int) {
+	if ln.src != src || ln.dst != dst {
+		clear(ln.cache)
+		ln.src, ln.dst = src, dst
 	}
-	wg.Wait()
-	for _, sink := range sinks {
-		n.batchReports = append(n.batchReports, sink...)
+}
+
+// collectSinks moves the lanes' mirrored reports into batchReports,
+// keeping the sink backing arrays for reuse.
+func (n *Network) collectSinks(lanes []*netLane) {
+	for _, ln := range lanes {
+		if len(ln.sink) != 0 {
+			n.batchReports = append(n.batchReports, ln.sink...)
+			ln.sink = ln.sink[:0]
+		}
 	}
 }
 
@@ -400,13 +507,36 @@ func (n *Network) DrainReports() []dataplane.Report {
 	return out
 }
 
-// Stats returns network-wide delivery counters.
+// DrainReportsAppend appends mirrored reports from completed batches and
+// every switch to dst and clears them, reusing all internal buffers —
+// the zero-allocation form of DrainReports for steady-state loops.
+func (n *Network) DrainReportsAppend(dst []dataplane.Report) []dataplane.Report {
+	dst = append(dst, n.batchReports...)
+	n.batchReports = n.batchReports[:0]
+	for _, node := range n.nodes {
+		dst = node.DP.DrainReportsAppend(dst)
+	}
+	return dst
+}
+
+// Stats returns network-wide delivery counters: the shared slow-path
+// atomics plus every lane's single-writer slot.
 func (n *Network) Stats() (delivered, dropped uint64) {
-	return atomic.LoadUint64(&n.delivered), atomic.LoadUint64(&n.dropped)
+	delivered = atomic.LoadUint64(&n.delivered)
+	dropped = atomic.LoadUint64(&n.dropped)
+	for i := range n.laneStats {
+		delivered += atomic.LoadUint64(&n.laneStats[i].delivered)
+		dropped += atomic.LoadUint64(&n.laneStats[i].dropped)
+	}
+	return delivered, dropped
 }
 
 // ResetStats zeroes the delivery counters (between experiment phases).
 func (n *Network) ResetStats() {
 	atomic.StoreUint64(&n.delivered, 0)
 	atomic.StoreUint64(&n.dropped, 0)
+	for i := range n.laneStats {
+		atomic.StoreUint64(&n.laneStats[i].delivered, 0)
+		atomic.StoreUint64(&n.laneStats[i].dropped, 0)
+	}
 }

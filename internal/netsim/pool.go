@@ -1,0 +1,63 @@
+package netsim
+
+import (
+	"sync"
+)
+
+// The batch worker pool is process-wide: a fixed set of persistent
+// goroutines executes the per-lane delivery closures of every Network.
+// Sharing one pool (instead of per-Network goroutines) means worker
+// startup is paid once per process, segments dispatch with two channel
+// operations per lane and zero allocations, and transient Networks —
+// experiments build hundreds — never leak parked goroutines: pool
+// workers reference only the job channel, not any Network.
+//
+// Correctness needs no lane→goroutine affinity: within one do() call
+// the lanes are distinct (each job owns different lane state), and the
+// job-channel handoff plus the WaitGroup barrier give the happens-
+// before edges between a lane's consecutive segments, so lane state is
+// single-writer even when different pool goroutines run it over time.
+
+// laneJob asks a pool worker to run f(lane) and signal wg.
+type laneJob struct {
+	f    func(lane int)
+	lane int
+	wg   *sync.WaitGroup
+}
+
+// maxPoolWorkers bounds the pool; far above any sane -workers setting,
+// it only guards against pathological configs.
+const maxPoolWorkers = 64
+
+var (
+	poolJobs    = make(chan laneJob, maxPoolWorkers)
+	poolMu      sync.Mutex
+	poolSpawned int
+)
+
+// poolDo runs f(0) .. f(lanes-1) concurrently on the shared pool and
+// returns when all have finished. wg is caller-owned (and reused) so
+// the steady-state call allocates nothing.
+func poolDo(lanes int, wg *sync.WaitGroup, f func(lane int)) {
+	if lanes > maxPoolWorkers {
+		lanes = maxPoolWorkers
+	}
+	poolMu.Lock()
+	for poolSpawned < lanes {
+		go poolWorker()
+		poolSpawned++
+	}
+	poolMu.Unlock()
+	wg.Add(lanes)
+	for w := 0; w < lanes; w++ {
+		poolJobs <- laneJob{f: f, lane: w, wg: wg}
+	}
+	wg.Wait()
+}
+
+func poolWorker() {
+	for j := range poolJobs {
+		j.f(j.lane)
+		j.wg.Done()
+	}
+}

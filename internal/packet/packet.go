@@ -137,6 +137,27 @@ func (k FlowKey) Reverse() FlowKey {
 	return FlowKey{Src: k.Dst, Dst: k.Src, SPort: k.DPort, DPort: k.SPort, Proto: k.Proto}
 }
 
+// LaneHash hashes the 5-tuple direction-insensitively: both directions
+// of a connection land on the same value, so sharded delivery keeps a
+// whole conversation on one worker lane. The endpoint pair is ordered
+// canonically before mixing (a splitmix64 finisher spreads the bits for
+// modulo lane selection), and the whole computation is inline —
+// allocation-free on the per-packet path.
+func (k FlowKey) LaneHash() uint64 {
+	a := uint64(k.Src)<<16 | uint64(k.SPort)
+	b := uint64(k.Dst)<<16 | uint64(k.DPort)
+	if a > b {
+		a, b = b, a
+	}
+	h := a*0x9E3779B97F4A7C15 ^ b ^ uint64(k.Proto)<<56
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
 // String renders the key as "1.2.3.4:80 -> 5.6.7.8:1234/tcp".
 func (k FlowKey) String() string {
 	proto := fmt.Sprintf("%d", k.Proto)

@@ -445,7 +445,11 @@ func (a *Agent) execute(req *Request) *Response {
 		if a.OnEpoch != nil {
 			a.OnEpoch()
 		}
-		a.eng.Layout().Pipeline().NextEpoch()
+		// RollEpoch (not a bare Pipeline().NextEpoch()) folds any
+		// worker-private bank shards into the canonical arrays before the
+		// windows roll; OnEpoch's snapshot already merged, so this second
+		// merge is an idempotent no-op.
+		a.eng.RollEpoch()
 		return &Response{OK: true}
 	case typeExportStats:
 		if a.ExportStatsFn == nil {
