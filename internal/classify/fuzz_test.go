@@ -1,0 +1,108 @@
+package classify
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// rulesFromBytes decodes a rule set and probe keys from fuzz input. The
+// decoder is biased toward compilable shapes (prefix masks, small dense
+// masks, wildcards, full-width exact) with an occasional raw mask so
+// the fallback decision is fuzzed too.
+func rulesFromBytes(data []byte) (cols int, rules []Rule, keys [][]uint64) {
+	if len(data) < 4 {
+		return 0, nil, nil
+	}
+	next := func() uint64 {
+		if len(data) == 0 {
+			return 0
+		}
+		var buf [8]byte
+		n := copy(buf[:], data)
+		data = data[n:]
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+	cols = 1 + int(data[0]%3)
+	nRules := 1 + int(data[1]%32)
+	nKeys := 1 + int(data[2]%16)
+	data = data[3:]
+
+	maskFor := func(sel uint64) uint64 {
+		switch sel % 8 {
+		case 0:
+			return 0
+		case 1:
+			return 0xFFFFFFFF
+		case 2:
+			return 0xFFFFFF00
+		case 3:
+			return 0xFFFF0000
+		case 4:
+			return 0xFF
+		case 5:
+			return sel >> 3 & 0xFFFF // arbitrary small mask: dense
+		case 6:
+			return ^uint64(0)
+		default:
+			return sel >> 3 // arbitrary wide mask: usually uncompilable
+		}
+	}
+	for i := 0; i < nRules; i++ {
+		vals := make([]uint64, cols)
+		masks := make([]uint64, cols)
+		for c := 0; c < cols; c++ {
+			w := next()
+			masks[c] = maskFor(w)
+			vals[c] = next()
+		}
+		rules = append(rules, Rule{Values: vals, Masks: masks})
+	}
+	for i := 0; i < nKeys; i++ {
+		vals := make([]uint64, cols)
+		for c := 0; c < cols; c++ {
+			vals[c] = next()
+		}
+		// Bias half the keys toward installed rule values so matches
+		// (and nested matches) are common.
+		if i%2 == 0 && len(rules) > 0 {
+			r := rules[i%len(rules)]
+			for c := 0; c < cols; c++ {
+				vals[c] = r.Values[c] ^ (vals[c] & 0xFF)
+			}
+		}
+		keys = append(keys, vals)
+	}
+	return cols, rules, keys
+}
+
+// FuzzCompiledEquivalence fuzzes the compiled classifier against the
+// linear ternary-scan oracle: for every decoded rule set and key, the
+// full match set — contents and order — must be identical. A nil
+// compile (strategy or budget fallback) is legal: the caller keeps the
+// oracle itself.
+func FuzzCompiledEquivalence(f *testing.F) {
+	// Seeded corpus: prefix nest, dense flags, wildcard default, mixed.
+	f.Add([]byte{2, 8, 8, 1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	f.Add([]byte{1, 16, 4, 2, 2, 2, 2, 4, 4, 4, 4, 0, 0, 0, 0, 9, 9})
+	f.Add([]byte{3, 32, 16, 255, 254, 253, 252, 251, 250, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{2, 1, 1, 0, 0, 0, 0})
+	f.Add([]byte{1, 31, 15, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cols, rules, keys := rulesFromBytes(data)
+		if cols == 0 || len(rules) == 0 {
+			return
+		}
+		c := Compile(cols, rules, Config{MinRules: 1})
+		if c == nil {
+			return // fallback: the oracle itself serves lookups
+		}
+		for _, k := range keys {
+			got := c.Lookup(k)
+			want := scanOracle(rules, k)
+			if !equalList(got, want) {
+				t.Fatalf("compiled %v != oracle %v for key %v over %d rules",
+					got, want, k, len(rules))
+			}
+		}
+	})
+}

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"github.com/newton-net/newton/internal/classify"
 )
 
 // MatchKind distinguishes the matching disciplines a table supports. All
@@ -89,13 +91,24 @@ func (r *Rule) before(o *Rule) bool {
 	return r.seq < o.seq
 }
 
-// maxIndexCols bounds the column count the exact-match index covers;
-// wider tables fall back to the ternary scan (none exist today).
+// maxIndexCols bounds the column count the exact-match index covers.
+// Wider tables route every rule — full-mask ones included — through the
+// ternary set, where the compiled classifier serves them as point
+// intervals; only when compilation falls back does a wide table pay the
+// linear scan. The layout's own tables are all ≤6 columns; the wide
+// path is covered by TestWideTableSkipsExactIndex.
 const maxIndexCols = 8
 
 // exactKey is the hash-index key: the rule's (full-mask) column values,
 // zero-padded. Tables have a fixed column count, so padding is unambiguous.
 type exactKey [maxIndexCols]uint64
+
+// Classifier compile states, kept in tableSnap.clsState.
+const (
+	clsUncompiled = iota // no classified lookup has run on this snapshot yet
+	clsCompiled          // compiled classifier serving lookups
+	clsFallback          // compile declined (too few rules, strategy, or budget): linear scan
+)
 
 // tableSnap is one immutable rule-set snapshot. Readers load it via an
 // atomic pointer and never take a lock; writers build a fresh snapshot
@@ -109,14 +122,55 @@ type tableSnap struct {
 	// exact indexes the full-mask rules by column values; each bucket is
 	// in match order (duplicates keep TCAM tie-breaking).
 	exact map[exactKey][]*Rule
+
+	// The compiled classifier for the ternary set. Compilation is
+	// deferred to the first classified lookup — rules install one at a
+	// time, and compiling on every publish would make an n-rule install
+	// quadratic — and runs at most once per snapshot (sync.Once), so
+	// the packet path after it is two atomic loads. clsState is stored
+	// after cls (both atomic), so state != clsUncompiled acquires the
+	// compiled pointer.
+	cols     int
+	clsCfg   classify.Config
+	clsOnce  sync.Once
+	cls      atomic.Pointer[classify.Compiled]
+	clsState atomic.Int32
 }
 
 var emptySnap = &tableSnap{}
 
+// classifier returns the snapshot's compiled classifier, compiling on
+// first call; nil means fallback to the linear scan. The hot path costs
+// two atomic loads; the cold path is kept out of line so its closure
+// never allocates on classified lookups.
+func (s *tableSnap) classifier() *classify.Compiled {
+	if s.clsState.Load() == clsUncompiled {
+		s.compileClassifier()
+	}
+	return s.cls.Load()
+}
+
+//go:noinline
+func (s *tableSnap) compileClassifier() {
+	s.clsOnce.Do(func() {
+		specs := make([]classify.Rule, len(s.ternary))
+		for i, r := range s.ternary {
+			specs[i] = classify.Rule{Values: r.Values, Masks: r.Masks}
+		}
+		c := classify.Compile(s.cols, specs, s.clsCfg)
+		state := int32(clsFallback)
+		if c != nil {
+			s.cls.Store(c)
+			state = clsCompiled
+		}
+		s.clsState.Store(state)
+	})
+}
+
 // buildSnap constructs the immutable snapshot for a rule list already in
 // match order.
-func buildSnap(rules []*Rule, cols int) *tableSnap {
-	s := &tableSnap{rules: rules}
+func buildSnap(rules []*Rule, cols int, cfg classify.Config) *tableSnap {
+	s := &tableSnap{rules: rules, cols: cols, clsCfg: cfg}
 	if cols > maxIndexCols {
 		s.ternary = rules
 		return s
@@ -166,6 +220,13 @@ type Table struct {
 	byID    map[int]*Rule
 	nextID  int
 	seq     int
+
+	// clsCfg is the classifier compile budget snapshots are built with
+	// (zero value = classify defaults). Written under mu.
+	clsCfg classify.Config
+	// ternaryScans counts lookups served by the linear ternary scan —
+	// the slow path the compiled classifier exists to remove.
+	ternaryScans atomic.Uint64
 
 	// Default is executed when no rule matches (may be nil).
 	Default Action
@@ -276,13 +337,53 @@ func (t *Table) RemoveRule(id int) error {
 // publish builds and atomically installs the snapshot for rules (already
 // in match order). Callers hold t.mu.
 func (t *Table) publish(rules []*Rule) {
-	t.snap.Store(buildSnap(rules, t.Cols))
+	t.snap.Store(buildSnap(rules, t.Cols, t.clsCfg))
 	t.version.Add(1)
 }
 
+// SetClassifierConfig replaces the compiled-classifier budget and
+// republishes the current rules under it. A huge MinRules forces the
+// linear-scan fallback — how tests and benchmarks pin the oracle path.
+func (t *Table) SetClassifierConfig(cfg classify.Config) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clsCfg = cfg
+	t.publish(t.snap.Load().rules)
+}
+
+// TernaryScans returns how many lookups fell through to the linear
+// ternary scan — zero in steady state once the classifier compiles.
+func (t *Table) TernaryScans() uint64 { return t.ternaryScans.Load() }
+
+// ClassifierInfo describes the current snapshot's classifier state for
+// observability and tests.
+type ClassifierInfo struct {
+	// Attempted is false until a classified lookup first compiles.
+	Attempted bool
+	// Compiled reports whether lookups are served by compiled tables
+	// (false after a strategy/budget fallback or below MinRules).
+	Compiled bool
+	Stats    classify.Stats
+}
+
+// ClassifierInfo reports the live snapshot's classifier state without
+// forcing compilation.
+func (t *Table) ClassifierInfo() ClassifierInfo {
+	s := t.snap.Load()
+	switch s.clsState.Load() {
+	case clsCompiled:
+		return ClassifierInfo{Attempted: true, Compiled: true, Stats: s.cls.Load().Stats()}
+	case clsFallback:
+		return ClassifierInfo{Attempted: true}
+	}
+	return ClassifierInfo{}
+}
+
 // Lookup returns the highest-priority matching rule, or nil. Lock-free:
-// it reads the current snapshot, probing the exact-match hash index
-// before falling back to the ternary scan.
+// it reads the current snapshot, probes the exact-match hash index, and
+// resolves the ternary set through the compiled classifier — O(columns)
+// regardless of rule count — falling back to the linear scan only when
+// compilation declined (see classify.Config).
 func (t *Table) Lookup(vals ...uint64) *Rule {
 	if len(vals) != t.Cols {
 		panic(fmt.Sprintf("dataplane: table %s lookup with %d values, want %d", t.Name, len(vals), t.Cols))
@@ -296,6 +397,19 @@ func (t *Table) Lookup(vals ...uint64) *Rule {
 			best = bucket[0]
 		}
 	}
+	if len(s.ternary) == 0 {
+		return best
+	}
+	if c := s.classifier(); c != nil {
+		if leaf := c.Lookup(vals); len(leaf) > 0 {
+			r := s.ternary[leaf[0]]
+			if best == nil || r.before(best) {
+				return r
+			}
+		}
+		return best
+	}
+	t.ternaryScans.Add(1)
 	for _, r := range s.ternary {
 		if best != nil && best.before(r) {
 			break // ternary is in match order; nothing later can win
@@ -334,9 +448,27 @@ func (t *Table) LookupAllAppend(dst []*Rule, vals []uint64) []*Rule {
 		copy(k[:], vals)
 		bucket = s.exact[k]
 	}
+	if len(s.ternary) == 0 {
+		return append(dst, bucket...)
+	}
 	// Merge the (match-ordered) index bucket with the (match-ordered)
-	// ternary scan, preserving global match order.
+	// ternary matches, preserving global match order. The compiled
+	// classifier's leaf is the full ternary match set as ascending
+	// indices — already match order — so the merge does zero per-rule
+	// work; only the scan fallback evaluates rules.
 	bi := 0
+	if c := s.classifier(); c != nil {
+		for _, idx := range c.Lookup(vals) {
+			r := s.ternary[idx]
+			for bi < len(bucket) && bucket[bi].before(r) {
+				dst = append(dst, bucket[bi])
+				bi++
+			}
+			dst = append(dst, r)
+		}
+		return append(dst, bucket[bi:]...)
+	}
+	t.ternaryScans.Add(1)
 	for _, r := range s.ternary {
 		if !r.Matches(vals) {
 			continue

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/newton-net/newton/internal/classify"
+	"github.com/newton-net/newton/internal/dataplane"
+)
+
+// classifierProbeAction is the no-op action behind the synthetic rules.
+type classifierProbeAction struct{}
+
+func (classifierProbeAction) ActionName() string { return "classifier-probe" }
+
+// ClassifierRow is one (rule count, workers) point: the per-lookup cost
+// of the compiled classifier against the seed's linear ternary scan.
+type ClassifierRow struct {
+	Rules      int
+	Workers    int
+	CompiledNs float64
+	ScanNs     float64
+	Speedup    float64
+}
+
+// ClassifierResult is the rules-vs-ns/lookup surface of the table hot
+// path, plus the compiled structure's size at the largest rule count.
+type ClassifierResult struct {
+	Rows  []ClassifierRow
+	Stats classify.Stats // at the largest rule count
+}
+
+func (r *ClassifierResult) String() string {
+	t := &table{header: []string{"rules", "workers", "compiled ns", "scan ns", "speedup"}}
+	for _, row := range r.Rows {
+		t.add(fmt.Sprint(row.Rules), fmt.Sprint(row.Workers),
+			fmt.Sprintf("%.1f", row.CompiledNs), fmt.Sprintf("%.1f", row.ScanNs),
+			fmt.Sprintf("%.1fx", row.Speedup))
+	}
+	return t.String() + fmt.Sprintf("(largest compile: %d dims, %d leaves, %d cells, %d bytes)\n",
+		r.Stats.Dims, r.Stats.Leaves, r.Stats.Cells, r.Stats.Bytes)
+}
+
+// Metrics exposes the surface for machine-readable output (-json).
+func (r *ClassifierResult) Metrics() map[string]float64 {
+	m := map[string]float64{"compiled_bytes": float64(r.Stats.Bytes)}
+	for _, row := range r.Rows {
+		k := fmt.Sprintf("r%d_w%d", row.Rules, row.Workers)
+		m["compiled_ns_"+k] = row.CompiledNs
+		m["scan_ns_"+k] = row.ScanNs
+		m["speedup_"+k] = row.Speedup
+	}
+	return m
+}
+
+// classifierTable builds the newton_init-shaped measurement table: n
+// distinct dst /24 prefix rules with exact proto, wildcard elsewhere.
+func classifierTable(n int, cfg classify.Config) *dataplane.Table {
+	tb := dataplane.NewTable("clsbench", dataplane.MatchTernary, 6, n*2)
+	tb.SetClassifierConfig(cfg)
+	vals := make([]uint64, 6)
+	masks := []uint64{0, 0xFFFFFF00, 0xFF, 0, 0, 0}
+	for i := 0; i < n; i++ {
+		vals[1] = 0x0A000000 | uint64(i)<<8
+		vals[2] = 6
+		if _, err := tb.AddRule(vals, masks, i%4, classifierProbeAction{}); err != nil {
+			panic(err)
+		}
+	}
+	return tb
+}
+
+// classifierPoint times lookups against tb from `workers` concurrent
+// goroutines (each its own key stream, as engine lanes have) and
+// returns the mean ns per lookup.
+func classifierPoint(tb *dataplane.Table, rules, workers, lookups int) float64 {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			buf := make([]*dataplane.Rule, 0, 8)
+			key := []uint64{0, 0, 6, 1234, 80, 0x10}
+			for i := 0; i < lookups; i++ {
+				// Cheap LCG over the rule space; every other probe misses.
+				seed = seed*1664525 + 1013904223
+				r := seed & (1<<30 - 1) % (rules * 2)
+				key[1] = 0x0A000000 | uint64(r)<<8 | 0x42
+				buf = tb.LookupAllAppend(buf[:0], key)
+			}
+		}(w*7 + 1)
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(workers*lookups)
+}
+
+// ClassifierScaling measures the compiled classifier against the linear
+// ternary scan across rule counts and worker counts — the PR's
+// rules-vs-ns/lookup acceptance surface. Scan lookups are capped so the
+// 32k-rule scan point finishes in reasonable time.
+func ClassifierScaling(ruleCounts, workers []int, lookups int) *ClassifierResult {
+	if len(ruleCounts) == 0 {
+		ruleCounts = []int{16, 256, 4096, 32768}
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 4}
+	}
+	if lookups == 0 {
+		lookups = 200000
+	}
+	res := &ClassifierResult{}
+	for _, n := range ruleCounts {
+		compiled := classifierTable(n, classify.DefaultConfig())
+		scan := classifierTable(n, classify.Config{MinRules: 1 << 30})
+		compiled.Lookup(0, 0x0A000000, 6, 0, 0, 0) // compile + warm
+		if info := compiled.ClassifierInfo(); info.Compiled {
+			res.Stats = info.Stats
+		}
+		scanLookups := lookups / 10
+		if scanLookups*n > 1<<26 { // bound total scan work
+			scanLookups = 1 << 26 / n
+		}
+		for _, w := range workers {
+			row := ClassifierRow{Rules: n, Workers: w}
+			row.CompiledNs = classifierPoint(compiled, n, w, lookups)
+			row.ScanNs = classifierPoint(scan, n, w, scanLookups)
+			if row.CompiledNs > 0 {
+				row.Speedup = row.ScanNs / row.CompiledNs
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		runtime.GC()
+	}
+	return res
+}

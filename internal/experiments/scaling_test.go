@@ -76,3 +76,25 @@ func TestWorkerScalingSmoke(t *testing.T) {
 			got, r.Rows[0].PktsPerSec, r.Rows[1].PktsPerSec)
 	}
 }
+
+// TestClassifierScaling asserts the compiled classifier beats the
+// linear scan decisively once rule sets are non-trivial. The 10x
+// acceptance threshold holds with wide margin at 4096 rules; the test
+// uses 4x at 256 to stay robust on noisy CI hosts.
+func TestClassifierScaling(t *testing.T) {
+	r := ClassifierScaling([]int{256}, []int{1, 4}, 20000)
+	if len(r.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %+v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		if row.Speedup < 4 {
+			t.Errorf("rules=%d workers=%d: speedup %.1fx, want >= 4x", row.Rules, row.Workers, row.Speedup)
+		}
+	}
+	if r.Stats.Leaves == 0 || r.Stats.Bytes == 0 {
+		t.Fatalf("compiled stats empty: %+v", r.Stats)
+	}
+	if r.String() == "" || len(r.Metrics()) == 0 {
+		t.Fatal("result not renderable")
+	}
+}

@@ -256,6 +256,24 @@ func (l *Layout) FreeRegisters(stage, u int, offset, width uint32) {
 	}
 }
 
+// TernaryScans sums linear ternary-scan fallbacks across the layout's
+// tables — newton_init, newton_fin, and every module table. Module
+// tables are exact-match so they never scan; newton_init is the series
+// that matters: once its rule set compiles, this counter stops moving.
+func (l *Layout) TernaryScans() uint64 {
+	n := l.Init.TernaryScans() + l.Fin.TernaryScans()
+	for _, ss := range l.suites {
+		for _, s := range ss {
+			for _, t := range s.tables {
+				if t != nil {
+					n += t.TernaryScans()
+				}
+			}
+		}
+	}
+	return n
+}
+
 // TotalRuleEntries sums installed rules across all module tables plus
 // newton_init/newton_fin — the table-entry metric of Figs. 16 and 17.
 func (l *Layout) TotalRuleEntries() int {

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"sync"
 
+	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/obs"
 )
 
@@ -30,6 +31,8 @@ var queryGaugeFamilies = []struct {
 		func(f Footprint) int64 { return int64(f.ResultRules) }},
 	{"newton_query_rules", "Total module-table rules installed for the query.",
 		func(f Footprint) int64 { return int64(f.Rules) }},
+	{"newton_query_classifier_preds", "Distinct newton_init classifier predicates contributed by the query.",
+		func(f Footprint) int64 { return int64(f.ClassifierPreds) }},
 }
 
 // PublishFootprints (re)publishes per-query resource gauges for the
@@ -57,6 +60,7 @@ func PublishFootprints(reg *obs.Registry, progs []*Program, prev map[int]string,
 		a.f.InitRules += fp.InitRules
 		a.f.ResultRules += fp.ResultRules
 		a.f.Rules += fp.Rules
+		a.f.ClassifierPreds += fp.ClassifierPreds
 	}
 	for qid, name := range prev {
 		if _, still := byQID[qid]; still {
@@ -113,6 +117,20 @@ func AttachObs(e *Engine, reg *obs.Registry, switchID string) {
 	reg.CounterFunc("newton_engine_dispatch_misses_total",
 		"Dispatch-cache misses (full newton_init classifier scans).",
 		func() uint64 { _, m, _ := e.Counters(); return m }, sw)
+	reg.CounterFunc("newton_engine_ternary_scan_total",
+		"Linear ternary-scan fallbacks across the layout's tables; stays flat once rule sets are served by the compiled classifier.",
+		func() uint64 { return e.layout.TernaryScans() }, sw)
+	for _, tb := range []*dataplane.Table{e.layout.Init, e.layout.Fin} {
+		t := tb
+		reg.GaugeFunc("newton_table_classifier_compiled",
+			"1 when the table's ternary rules are served by the compiled classifier, 0 on linear-scan fallback (or before first classified lookup).",
+			func() float64 {
+				if t.ClassifierInfo().Compiled {
+					return 1
+				}
+				return 0
+			}, sw, obs.L("table", t.Name))
+	}
 	for k := Kind(0); k < NumKinds; k++ {
 		kind := k
 		reg.CounterFunc("newton_engine_module_execs_total",

@@ -3,6 +3,7 @@ package modules
 import (
 	"testing"
 
+	"github.com/newton-net/newton/internal/classify"
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/obs"
 )
@@ -17,6 +18,8 @@ func TestFootprint(t *testing.T) {
 		InitRules:   1,
 		ResultRules: 2,
 		Rules:       5,
+
+		ClassifierPreds: 2, // proto=TCP and tcpflags=SYN
 	}
 	if f != want {
 		t.Fatalf("Footprint = %+v, want %+v", f, want)
@@ -126,5 +129,55 @@ func TestAttachObsZeroAlloc(t *testing.T) {
 		}); avg != 0 {
 			t.Fatalf("worker %d steady-state allocs per packet = %v, want 0", w, avg)
 		}
+	}
+}
+
+// TestAttachObsClassifierSeries checks the compiled-classifier
+// observability surface: the ternary-scan counter moves while
+// newton_init serves lookups by linear scan (one rule is below the
+// compile threshold), the per-table compiled gauge reads 0, and after
+// forcing compilation the gauge flips to 1 and the counter goes flat.
+func TestAttachObsClassifierSeries(t *testing.T) {
+	l := compactLayout(t)
+	eng := NewEngine(l)
+	reg := obs.NewRegistry()
+	AttachObs(eng, reg, "s1")
+	if err := eng.Install(buildCountProgram(1, 1<<30, 1024)); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	sw := dataplane.NewSwitch("s1", 8, StageCapacity())
+	sw.AddRoute(0, 0, 1)
+	sw.Monitor = eng
+	swl := obs.L("switch", "s1")
+
+	for i := 0; i < 4; i++ {
+		sw.Process(synTo(uint32(i))) // distinct flows: each misses dispatch
+	}
+	snap := reg.Snapshot()
+	if s := snap.Find("newton_engine_ternary_scan_total", swl); s == nil || s.Value == 0 {
+		t.Fatalf("ternary_scan_total = %v, want > 0 under scan fallback", s)
+	}
+	g := snap.Find("newton_table_classifier_compiled", swl, obs.L("table", "newton_init"))
+	if g == nil || g.Value != 0 {
+		t.Fatalf("classifier_compiled{newton_init} = %v, want 0 below compile threshold", g)
+	}
+	if s := snap.Find("newton_table_classifier_compiled", swl, obs.L("table", "newton_fin")); s == nil {
+		t.Fatal("classifier_compiled{newton_fin} series missing")
+	}
+
+	// Force compilation at any rule count; the config change republishes
+	// newton_init, so the next new flow takes the classified path.
+	l.Init.SetClassifierConfig(classify.Config{MinRules: 1})
+	before := snap.Find("newton_engine_ternary_scan_total", swl).Value
+	for i := 10; i < 20; i++ {
+		sw.Process(synTo(uint32(i)))
+	}
+	snap = reg.Snapshot()
+	if s := snap.Find("newton_engine_ternary_scan_total", swl); s.Value != before {
+		t.Fatalf("ternary_scan_total moved %v -> %v with a compiled classifier", before, s.Value)
+	}
+	g = snap.Find("newton_table_classifier_compiled", swl, obs.L("table", "newton_init"))
+	if g == nil || g.Value != 1 {
+		t.Fatalf("classifier_compiled{newton_init} = %v, want 1 after compile", g)
 	}
 }

@@ -40,7 +40,18 @@ type Budget struct {
 	ArraySize uint32
 	// RulesPerModule is each module table's rule capacity.
 	RulesPerModule int
+	// ClassifierPreds caps the distinct (column, value, mask) predicates
+	// the newton_init compiled classifier may hold. Per-dimension lookup
+	// tables grow with distinct predicates, so admitting past this point
+	// would push the classifier over its compile budget and drop the
+	// whole device back to linear scans. Zero defaults to
+	// DefaultClassifierPreds.
+	ClassifierPreds int
 }
+
+// DefaultClassifierPreds bounds the classifier's predicate population
+// comfortably below the compile budget for a 6-column table.
+const DefaultClassifierPreds = 4096
 
 // DefaultBudget mirrors the evaluation's device: 12 stages, 4096
 // registers per bank, 256 rules per module.
@@ -70,6 +81,14 @@ type tableKey struct {
 // engine's layout allocates, so the planner cannot drift from the
 // allocator it mirrors.
 func (b Budget) InitCapacity() int { return b.RulesPerModule * modules.InitCapacityFactor }
+
+// ClassifierPredCap is the effective classifier predicate budget.
+func (b Budget) ClassifierPredCap() int {
+	if b.ClassifierPreds > 0 {
+		return b.ClassifierPreds
+	}
+	return DefaultClassifierPreds
+}
 
 // WidthLadder is the accuracy ladder Plan walks for one request: MaxWidth
 // first, then each power of two strictly between the bounds, then a
@@ -109,6 +128,7 @@ type Tracker struct {
 	regs      map[bankKey]uint32
 	rules     map[tableKey]int
 	initRules int
+	preds     map[modules.InitPredKey]struct{}
 }
 
 // NewTracker starts empty accounting against b (zero-valued budgets
@@ -117,7 +137,8 @@ func NewTracker(b Budget) *Tracker {
 	if b.Stages <= 0 || b.ArraySize == 0 || b.RulesPerModule <= 0 {
 		b = DefaultBudget()
 	}
-	return &Tracker{b: b, regs: map[bankKey]uint32{}, rules: map[tableKey]int{}}
+	return &Tracker{b: b, regs: map[bankKey]uint32{}, rules: map[tableKey]int{},
+		preds: map[modules.InitPredKey]struct{}{}}
 }
 
 // Budget returns the tracker's device envelope.
@@ -127,14 +148,34 @@ func (t *Tracker) Budget() Budget { return t.b }
 // tentatively and discarded on any switch's rejection.
 func (t *Tracker) Clone() *Tracker {
 	c := &Tracker{b: t.b, regs: make(map[bankKey]uint32, len(t.regs)),
-		rules: make(map[tableKey]int, len(t.rules)), initRules: t.initRules}
+		rules: make(map[tableKey]int, len(t.rules)), initRules: t.initRules,
+		preds: make(map[modules.InitPredKey]struct{}, len(t.preds))}
 	for k, v := range t.regs {
 		c.regs[k] = v
 	}
 	for k, v := range t.rules {
 		c.rules[k] = v
 	}
+	for k := range t.preds {
+		c.preds[k] = struct{}{}
+	}
 	return c
+}
+
+// newPreds collects the program's classifier predicates the tracker has
+// not yet accounted for.
+func (t *Tracker) newPreds(p *modules.Program) map[modules.InitPredKey]struct{} {
+	fresh := map[modules.InitPredKey]struct{}{}
+	var buf []modules.InitPredKey
+	for _, br := range p.Branches {
+		buf = br.InitPreds(buf[:0])
+		for _, k := range buf {
+			if _, seen := t.preds[k]; !seen {
+				fresh[k] = struct{}{}
+			}
+		}
+	}
+	return fresh
 }
 
 // Fits checks a compiled program against the remaining budget.
@@ -169,6 +210,10 @@ func (t *Tracker) Fits(p *modules.Program) (bool, string) {
 	if t.initRules+branches > t.b.InitCapacity() {
 		return false, "newton_init out of rule capacity"
 	}
+	if fresh := t.newPreds(p); len(t.preds)+len(fresh) > t.b.ClassifierPredCap() {
+		return false, fmt.Sprintf("newton_init classifier out of predicate capacity (%d + %d new > %d)",
+			len(t.preds), len(fresh), t.b.ClassifierPredCap())
+	}
 	return true, ""
 }
 
@@ -183,6 +228,9 @@ func (t *Tracker) Commit(p *modules.Program) {
 		}
 	}
 	t.initRules += len(p.Branches)
+	for k := range t.newPreds(p) {
+		t.preds[k] = struct{}{}
+	}
 }
 
 // Plan admits requests in priority order (ties broken by arrival order),

@@ -289,3 +289,57 @@ func TestInitCapacityMatchesEngineTable(t *testing.T) {
 		t.Fatalf("InitCapacity %d does not scale with the budget's rule capacity (want %d)", got, want)
 	}
 }
+
+func TestPlanClassifierPredCapacity(t *testing.T) {
+	// Measure one query's distinct predicate population from an ample
+	// plan, then re-plan against exactly that cap: two identical queries
+	// share every predicate, so both must fit — the tracker charges
+	// distinct predicates, not entries.
+	ample := Budget{Stages: 16, ArraySize: 1 << 30, RulesPerModule: 1024}
+	ds := Plan([]Request{{Query: query.Q1(40), Priority: 1}}, ample)
+	if !ds[0].Admitted {
+		t.Fatalf("Q1 rejected under ample budget: %s", ds[0].Reason)
+	}
+	nPreds := ds[0].Program.Footprint().ClassifierPreds
+	if nPreds == 0 {
+		t.Fatal("Q1 contributes no classifier predicates — capacity test vacuous")
+	}
+
+	exact := ample
+	exact.ClassifierPreds = nPreds
+	ds = Plan([]Request{
+		{Query: query.Q1(40), Priority: 2},
+		{Query: query.Q1(40), Priority: 1},
+	}, exact)
+	for i, d := range ds {
+		if !d.Admitted {
+			t.Fatalf("copy %d rejected at exact predicate cap (%s) — dedupe broken", i, d.Reason)
+		}
+	}
+
+	tight := ample
+	tight.ClassifierPreds = nPreds - 1
+	ds = Plan([]Request{{Query: query.Q1(40), Priority: 1}}, tight)
+	if ds[0].Admitted {
+		t.Fatal("Q1 admitted past the predicate cap")
+	}
+	if !strings.Contains(ds[0].Reason, "predicate capacity") {
+		t.Fatalf("rejection reason %q, want predicate-capacity mention", ds[0].Reason)
+	}
+}
+
+func TestTrackerClonePreds(t *testing.T) {
+	b := Budget{Stages: 16, ArraySize: 1 << 30, RulesPerModule: 1024, ClassifierPreds: 64}
+	ds := Plan([]Request{{Query: query.Q1(40), Priority: 1}}, b)
+	tr := NewTracker(b)
+	tr.Commit(ds[0].Program)
+	clone := tr.Clone()
+	if len(clone.preds) != len(tr.preds) {
+		t.Fatalf("clone carries %d preds, tracker %d", len(clone.preds), len(tr.preds))
+	}
+	// Mutating the clone must not leak back.
+	clone.preds[modules.InitPredKey{Col: 5, Val: 1, Mask: 1}] = struct{}{}
+	if len(clone.preds) == len(tr.preds) {
+		t.Fatal("clone shares the predicate set with its parent")
+	}
+}
