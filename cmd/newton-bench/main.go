@@ -41,7 +41,10 @@ func main() {
 		dur      = flag.Duration("duration", 500*time.Millisecond, "trace duration (virtual time)")
 		hops     = flag.Int("hops", 5, "maximum hop count for fig13")
 		workers  = flag.Int("workers", 0, "default delivery worker lanes for trace-driven experiments (0 = GOMAXPROCS)")
-		fseed    = flag.Int64("fault-seed", 1, "seed for the chaos experiment's fault injection")
+		fseed    = flag.Int64("fault-seed", 1, "seed for the chaos and soak experiments' fault injection")
+		soakSw   = flag.Int("soak-switches", 0, "soak fleet size (0 = default)")
+		soakRds  = flag.Int("soak-rounds", 0, "soak churn rounds (0 = default)")
+		soakTen  = flag.Int("soak-tenants", 0, "soak tenant count (0 = default)")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		showVers = flag.Bool("version", false, "print version and exit")
 	)
@@ -56,7 +59,12 @@ func main() {
 	}
 
 	suite := map[string]func() fmt.Stringer{
-		"chaos":       func() fmt.Stringer { return experiments.ChaosRecovery(experiments.ChaosConfig{Seed: *fseed}) },
+		"chaos": func() fmt.Stringer { return experiments.ChaosRecovery(experiments.ChaosConfig{Seed: *fseed}) },
+		"soak": func() fmt.Stringer {
+			return experiments.Soak(experiments.SoakConfig{
+				Seed: *fseed, Switches: *soakSw, Rounds: *soakRds, Tenants: *soakTen,
+			})
+		},
 		"table3":      func() fmt.Stringer { return experiments.Table3() },
 		"ablation":    func() fmt.Stringer { return experiments.Ablation() },
 		"fig10":       func() fmt.Stringer { return experiments.Fig10Interruption(2000, 40, 20000) },

@@ -11,6 +11,7 @@
 //	newton-ctl top -addr 127.0.0.1:9700
 //	newton-ctl plan -topology linear:3 -queries q1,q4    # network-wide plan + diff
 //	newton-ctl apply -topology linear:3 -queries q1,q4 -drain s2
+//	newton-ctl status -topology linear:3 -queries q1,q4 -kill s2  # fleet health + self-healing demo
 package main
 
 import (
@@ -40,6 +41,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && (os.Args[1] == "plan" || os.Args[1] == "apply") {
 		runOrch(os.Args[1], os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "status" {
+		runStatus(os.Args[2:])
 		return
 	}
 	var (

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/newton-net/newton/internal/controller"
+	"github.com/newton-net/newton/internal/orchestrator"
+	"github.com/newton-net/newton/internal/query"
+)
+
+// runStatus is the `newton-ctl status` entry: deploy the chosen queries
+// over an in-process fleet, stand up the health monitor that watches
+// it, and render its fleet-health snapshot — the same table an operator
+// would read against a live deployment. -kill demonstrates the closed
+// loop: the named switch's control channel is severed, the monitor's
+// next rounds debounce it to down, auto-drain it, and converge its
+// queries onto the survivors, all visible in the final snapshot and
+// event log.
+func runStatus(args []string) {
+	fs := flag.NewFlagSet("newton-ctl status", flag.ExitOnError)
+	var (
+		topoSpec = fs.String("topology", "linear:3", "topology: linear:N, fattree:K, or isp")
+		queries  = fs.String("queries", "q1,q4", "comma-separated catalog queries (q1..q9), priority = listed order")
+		stages   = fs.Int("switch-stages", 8, "pipeline stages of each switch device")
+		arrays   = fs.Uint("registers", 1<<14, "state-bank registers per switch")
+		rules    = fs.Int("rules", 256, "rule capacity per module table")
+		kill     = fs.String("kill", "", "sever this switch's control channel and watch the monitor drain it")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	topo, _, _ := buildTopology(*topoSpec)
+	fleet, budgets := buildFleet(topo, *stages, uint32(*arrays), *rules)
+	remote := controller.NewRemote(fleet.clients, 1)
+	orch, err := orchestrator.New(orchestrator.Config{Topo: topo, Budgets: budgets}, remote)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var intents []orchestrator.Intent
+	names := strings.Split(*queries, ",")
+	for i, name := range names {
+		q, err := query.ByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		intents = append(intents, orchestrator.Intent{Query: q, Priority: len(names) - i})
+	}
+	orch.SetIntents(intents)
+	if _, _, err := orch.Converge(); err != nil {
+		log.Fatalf("initial converge: %v", err)
+	}
+
+	mon, err := orchestrator.NewMonitor(orch, orch.Switches(), orchestrator.HealthConfig{
+		// In-process pipes fail instantly once severed, so one bad round
+		// may suspect and the next drain — the demo-speed ladder.
+		Probe: func(name string) error {
+			_, err := fleet.clients[name].Stats()
+			return err
+		},
+		Offline:      remote.SetOffline,
+		SuspectAfter: 1, DownAfter: 1, RecoverAfter: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon.Tick()
+	fmt.Printf("fleet (%d switches, queries %s):\n%s", len(budgets), *queries, mon.Snapshot())
+
+	if *kill == "" {
+		return
+	}
+	c, ok := fleet.clients[*kill]
+	if !ok {
+		log.Fatalf("status: unknown switch %q", *kill)
+	}
+	fmt.Printf("\nsevering %s's control channel and re-evaluating:\n", *kill)
+	c.Close()
+	for i := 0; i < 3; i++ {
+		mon.Tick()
+	}
+	snap := mon.Snapshot()
+	fmt.Print(snap)
+	fmt.Println("\nevents:")
+	for _, ev := range snap.Events {
+		fmt.Printf("  %s\n", ev)
+	}
+	fmt.Println("\nsurviving installs:")
+	fleet.printInstalls()
+}

@@ -24,6 +24,8 @@ type ctlObs struct {
 	reconvergeFailures uint64
 	ticks              uint64
 	tickFailures       uint64
+	deferredRemoves    uint64
+	flushedRemoves     uint64
 
 	mu        sync.Mutex
 	reg       *obs.Registry
@@ -69,6 +71,12 @@ func (o *ctlObs) registerCtl(reg *obs.Registry) {
 		"Epoch ticks by outcome.", load(&o.ticks), ok)
 	reg.CounterFunc("newton_ctl_ticks_total",
 		"Epoch ticks by outcome.", load(&o.tickFailures), errL)
+	reg.CounterFunc("newton_ctl_deferred_removes_total",
+		"Removes deferred because the target switch was offline.",
+		load(&o.deferredRemoves))
+	reg.CounterFunc("newton_ctl_flushed_removes_total",
+		"Deferred removes flushed when their switch came back online.",
+		load(&o.flushedRemoves))
 }
 
 func inc(p *uint64) { atomic.AddUint64(p, 1) }

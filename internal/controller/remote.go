@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/newton-net/newton/internal/compiler"
@@ -89,12 +90,27 @@ type deploySpec struct {
 // shape of a real deployment, where the controller is "a module of the
 // centralized network controller or ... an independent process" (§7).
 type Remote struct {
+	// mu serializes every control-plane operation, including across the
+	// network calls an operation makes: the health monitor's SetOffline
+	// and an orchestrator converge may drive the same controller
+	// concurrently, and interleaving a deploy with an offline flip would
+	// corrupt the recorded deployment state.
+	mu     sync.Mutex
 	agents map[string]*rpc.Client
 	rng    *rand.Rand
 
 	nextQID     int
 	deployments map[int][]string // qid -> agent names
 	specs       map[int]*deploySpec
+
+	// offline marks switches the health monitor has declared unreachable.
+	// Deploys targeting an offline switch fail fast instead of burning
+	// the rpc client's full retry budget against a dead peer, and removes
+	// are deferred into pendingRemoves — flushed when SetOffline(false)
+	// re-admits the switch, so a partitioned-but-alive switch cannot
+	// rejoin the fleet still holding programs the fleet moved elsewhere.
+	offline        map[string]bool
+	pendingRemoves map[string]map[int]bool // switch -> qids to remove on return
 
 	// svc, when attached, replaces per-agent report polling: agents push
 	// reports to the analyzer service and Collect drains the merged,
@@ -109,8 +125,78 @@ func NewRemote(agents map[string]*rpc.Client, seed int64) *Remote {
 	return &Remote{
 		agents: agents, rng: rand.New(rand.NewSource(seed)),
 		nextQID: 1, deployments: map[int][]string{},
-		specs: map[int]*deploySpec{},
+		specs:   map[int]*deploySpec{},
+		offline: map[string]bool{}, pendingRemoves: map[string]map[int]bool{},
 	}
+}
+
+// SetOffline flips a switch's reachability as the health monitor sees
+// it. Marking a switch offline defers its removes (see Remote.offline);
+// marking it back online first flushes every deferred remove, so the
+// switch rejoins the fleet without stale programs. A flush error leaves
+// the unflushed removes pending (a later SetOffline(false) or
+// Reconverge retries them) and is returned to the caller.
+func (r *Remote) SetOffline(name string, offline bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.agents[name]; !ok {
+		return fmt.Errorf("controller: no agent %q", name)
+	}
+	r.offline[name] = offline
+	if offline {
+		return nil
+	}
+	return r.flushPendingLocked(name)
+}
+
+// Offline reports whether a switch is currently marked unreachable.
+func (r *Remote) Offline(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.offline[name]
+}
+
+// flushPendingLocked drives the deferred removes for a switch that is
+// back online. An agent that restarted while away already lost the
+// programs, so not-installed answers count as success.
+func (r *Remote) flushPendingLocked(name string) error {
+	pending := r.pendingRemoves[name]
+	if len(pending) == 0 {
+		return nil
+	}
+	qids := make([]int, 0, len(pending))
+	for qid := range pending {
+		qids = append(qids, qid)
+	}
+	sort.Ints(qids)
+	c := r.agents[name]
+	for _, qid := range qids {
+		if err := c.Remove(qid); err != nil && !rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
+			inc(&r.obs.removeFailures)
+			return fmt.Errorf("controller: flush deferred remove of %d from %q: %w", qid, name, err)
+		}
+		delete(pending, qid)
+		inc(&r.obs.flushedRemoves)
+	}
+	delete(r.pendingRemoves, name)
+	return nil
+}
+
+// removeFromLocked removes qid from one agent, deferring the remove
+// when the agent is offline instead of failing against a dead peer.
+func (r *Remote) removeFromLocked(name string, qid int) error {
+	if r.offline[name] {
+		if r.pendingRemoves[name] == nil {
+			r.pendingRemoves[name] = map[int]bool{}
+		}
+		r.pendingRemoves[name][qid] = true
+		inc(&r.obs.deferredRemoves)
+		return nil
+	}
+	if err := r.agents[name].Remove(qid); err != nil && !rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
+		return err
+	}
+	return nil
 }
 
 // compileFor compiles spec's query for position i of its target list.
@@ -204,7 +290,10 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 		var failedOutcome *DeployOutcome
 		for _, n := range rollback {
 			o := DeployOutcome{Switch: n, Installed: true}
-			if err := r.agents[n].Remove(qid); err == nil || rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
+			if err := r.removeFromLocked(n, qid); err == nil {
+				// Deferred rollback on an offline switch counts as rolled
+				// back: the remove is pinned in pendingRemoves and flushes
+				// before the switch can rejoin the fleet.
 				o.RolledBack = true
 				inc(&r.obs.rollbacks)
 			} else {
@@ -221,6 +310,16 @@ func (r *Remote) deploy(spec *deploySpec) (int, time.Duration, error) {
 			perr.Outcomes = append(perr.Outcomes, DeployOutcome{Switch: failed, Err: installErr})
 		}
 		return perr
+	}
+
+	// Preflight before any install: a deploy targeting an offline switch
+	// is doomed, and failing here costs nothing instead of a rollback.
+	for _, n := range spec.names {
+		if r.offline[n] {
+			inc(&r.obs.deployFailures)
+			return 0, 0, &PartialDeployError{QID: qid, Mode: mode, Failed: n,
+				Outcomes: []DeployOutcome{{Switch: n, Err: fmt.Errorf("controller: agent %q offline", n)}}}
+		}
 	}
 
 	var first *modules.Program
@@ -293,6 +392,8 @@ func (r *Remote) resolveNames(names []string) []string {
 // modeled operation latency (per-switch batches run in parallel; the
 // slowest bounds the delay).
 func (r *Remote) Install(q *query.Query, width uint32, names []string) (int, time.Duration, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.deploy(&deploySpec{q: q, width: width, names: r.resolveNames(names)})
 }
 
@@ -300,12 +401,14 @@ func (r *Remote) Install(q *query.Query, width uint32, names []string) (int, tim
 // that no longer has the query (it restarted since) already satisfies
 // the desired state and does not fail the removal.
 func (r *Remote) Remove(qid int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names, ok := r.deployments[qid]
 	if !ok {
 		return fmt.Errorf("controller: no deployment %d", qid)
 	}
 	for _, n := range names {
-		if err := r.agents[n].Remove(qid); err != nil && !rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
+		if err := r.removeFromLocked(n, qid); err != nil {
 			inc(&r.obs.removeFailures)
 			return fmt.Errorf("controller: agent %q: %w", n, err)
 		}
@@ -320,10 +423,16 @@ func (r *Remote) Remove(qid int) error {
 	return nil
 }
 
-// Tick rolls the evaluation window on every agent (the controller's
-// 100 ms heartbeat).
+// Tick rolls the evaluation window on every reachable agent (the
+// controller's 100 ms heartbeat). Offline agents are skipped — their
+// windows roll again when they rejoin.
 func (r *Remote) Tick() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for n, c := range r.agents {
+		if r.offline[n] {
+			continue
+		}
 		if err := c.NextEpoch(); err != nil {
 			inc(&r.obs.tickFailures)
 			return fmt.Errorf("controller: agent %q: %w", n, err)
@@ -337,7 +446,11 @@ func (r *Remote) Tick() error {
 // push: agents stream reports and epoch snapshots to svc, and Collect
 // drains svc's deduplicated alert stream instead of round-robin polling
 // every agent. Install/Remove/Tick keep using the control channel.
-func (r *Remote) AttachTelemetry(svc *telemetry.Service) { r.svc = svc }
+func (r *Remote) AttachTelemetry(svc *telemetry.Service) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.svc = svc
+}
 
 // InstallSharded compiles q once per agent with key sharding (§5.1):
 // agent i owns keys whose owner hash ≡ i mod len(names), so the agents
@@ -348,6 +461,8 @@ func (r *Remote) AttachTelemetry(svc *telemetry.Service) { r.svc = svc }
 // undercount every key it owns — so any failure rolls back and returns
 // a *PartialDeployError.
 func (r *Remote) InstallSharded(q *query.Query, width uint32, names []string) (int, time.Duration, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.deploy(&deploySpec{q: q, width: width, names: r.resolveNames(names), sharded: true})
 }
 
@@ -355,8 +470,21 @@ func (r *Remote) InstallSharded(q *query.Query, width uint32, names []string) (i
 // each agent is offered its program again, and an "already installed"
 // answer counts as convergence (the ops are level-triggered). This is
 // the controller's answer to an agent restart that lost its installs —
-// call it whenever an agent reappears. It returns the first hard error.
+// call it whenever an agent reappears. Offline agents are skipped (and
+// any deferred removes for reachable agents are flushed first). It
+// returns the first hard error.
 func (r *Remote) Reconverge() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.pendingRemoves {
+		if r.offline[name] {
+			continue
+		}
+		if err := r.flushPendingLocked(name); err != nil {
+			inc(&r.obs.reconvergeFailures)
+			return err
+		}
+	}
 	qids := make([]int, 0, len(r.specs))
 	for qid := range r.specs {
 		qids = append(qids, qid)
@@ -365,6 +493,9 @@ func (r *Remote) Reconverge() error {
 	for _, qid := range qids {
 		spec := r.specs[qid]
 		for i, n := range spec.names {
+			if r.offline[n] {
+				continue
+			}
 			c, ok := r.agents[n]
 			if !ok {
 				inc(&r.obs.reconvergeFailures)
@@ -406,6 +537,8 @@ func (r *Remote) InstallPlacement(q *query.Query, width uint32, stagesPer int, p
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.deploy(&deploySpec{q: q, width: width, names: names, stagesPer: stagesPer, parts: parts})
 }
 
@@ -413,6 +546,8 @@ func (r *Remote) InstallPlacement(q *query.Query, width uint32, stagesPer int, p
 // per-agent partition assignment (nil for replicate/shard deployments
 // or unknown qids).
 func (r *Remote) Placement(qid int) map[string][]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	spec, ok := r.specs[qid]
 	if !ok || spec.stagesPer <= 0 {
 		return nil
@@ -433,6 +568,8 @@ func (r *Remote) Placement(qid int) map[string][]int {
 // subsequent Reconverge re-drives agents toward that recorded state, so
 // the recovery story is the same as for an agent restart.
 func (r *Remote) UpdatePlacement(qid int, parts map[string][]int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	spec, ok := r.specs[qid]
 	if !ok {
 		return fmt.Errorf("controller: no deployment %d", qid)
@@ -468,11 +605,13 @@ func (r *Remote) UpdatePlacement(qid int, parts map[string][]int) error {
 	sort.Strings(installs)
 
 	for _, n := range removes {
-		c, ok := r.agents[n]
-		if !ok {
+		if _, ok := r.agents[n]; !ok {
 			continue // a drained agent may already be gone
 		}
-		if err := c.Remove(qid); err != nil && !rpc.IsAgentCode(err, rpc.CodeNotInstalled) {
+		// removeFromLocked defers the remove when the switch is offline —
+		// this is what lets a converge move a dead switch's queries away
+		// without waiting out the rpc retry budget against a dead peer.
+		if err := r.removeFromLocked(n, qid); err != nil {
 			inc(&r.obs.removeFailures)
 			return fmt.Errorf("controller: update agent %q: %w", n, err)
 		}
@@ -487,6 +626,9 @@ func (r *Remote) UpdatePlacement(qid int, parts map[string][]int) error {
 		idx := sort.SearchStrings(installs, n)
 		if idx == len(installs) || installs[idx] != n {
 			continue
+		}
+		if r.offline[n] {
+			return fmt.Errorf("controller: update targets offline agent %q", n)
 		}
 		c, ok := r.agents[n]
 		if !ok {
@@ -528,11 +670,16 @@ func (r *Remote) UpdatePlacement(qid int, parts map[string][]int) error {
 // Collect returns new reports: the merged push-based stream when a
 // telemetry service is attached, otherwise a poll over every agent.
 func (r *Remote) Collect() ([]dataplane.Report, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.svc != nil {
 		return r.svc.DrainReports(), nil
 	}
 	var out []dataplane.Report
 	for n, c := range r.agents {
+		if r.offline[n] {
+			continue
+		}
 		rs, err := c.DrainReports()
 		if err != nil {
 			return nil, fmt.Errorf("controller: agent %q: %w", n, err)

@@ -1,0 +1,812 @@
+// The churn soak is the production-readiness experiment ROADMAP item
+// (3b) asks for: a fleet of switch agents under continuous multi-tenant
+// intent churn (installs, removes, operator drains) plus seeded faults
+// (kills, partitions, stalls, connection resets) for many rounds, with
+// the orchestrator's health monitor — not an operator — driving every
+// drain and re-admission. The run audits the properties a long-lived
+// deployment actually needs: bounded heap growth, goroutine stability,
+// deploy-latency tails, MTTR from fault to reconverged, and zero
+// cross-tenant provenance mixups (a tenant's merged results must never
+// include a switch their query was not placed on).
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/newton-net/newton/internal/controller"
+	"github.com/newton-net/newton/internal/faults"
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/netsim"
+	"github.com/newton-net/newton/internal/orchestrator"
+	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/scheduler"
+	"github.com/newton-net/newton/internal/telemetry"
+	"github.com/newton-net/newton/internal/topology"
+	"github.com/newton-net/newton/internal/trace"
+)
+
+// SoakConfig parameterizes the churn soak. The zero value is the
+// CI-sized run; a production soak raises Switches/Tenants/Rounds.
+type SoakConfig struct {
+	// Seed drives the trace, every fault injector, the churn schedule,
+	// and client retry jitter — the run is reproducible from it
+	// (default 1).
+	Seed int64
+	// Switches sizes the linear fleet (default 5).
+	Switches int
+	// Tenants is how many tenants contribute intents; each tenant owns
+	// a single-switch query and a partitioned query (default 3).
+	Tenants int
+	// Rounds is the churn round count (default 36). Each round applies
+	// one churn or fault operation, pumps traffic, rolls epochs, and
+	// ticks the health monitor.
+	Rounds int
+	// KillEvery schedules a switch kill every this many rounds
+	// (default 12); DownFor is how many rounds the switch stays dead
+	// before restarting with an empty engine (default 4).
+	KillEvery int
+	DownFor   int
+	// PartitionFor is how many rounds an injected control+telemetry
+	// partition lasts (default 2).
+	PartitionFor int
+	// MaxHeapGrowthMB is the declared leak threshold: heap growth from
+	// the post-warmup sample to the end of the run must stay under it
+	// (default 8).
+	MaxHeapGrowthMB float64
+	// GoroutineSlack is the tolerated goroutine delta after teardown
+	// (default 8) — runtime pollers and test plumbing wobble a little.
+	GoroutineSlack int
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Switches == 0 {
+		c.Switches = 5
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 3
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 36
+	}
+	if c.KillEvery == 0 {
+		c.KillEvery = 12
+	}
+	if c.DownFor == 0 {
+		c.DownFor = 4
+	}
+	if c.PartitionFor == 0 {
+		c.PartitionFor = 2
+	}
+	if c.MaxHeapGrowthMB == 0 {
+		c.MaxHeapGrowthMB = 8
+	}
+	if c.GoroutineSlack == 0 {
+		c.GoroutineSlack = 8
+	}
+	return c
+}
+
+// SoakResult is the soak's metrics and verdict. Violations collects
+// every failed assertion; an empty list is a pass.
+type SoakResult struct {
+	Seed                      int64
+	Switches, Tenants, Rounds int
+
+	Kills        int
+	AutoDrains   uint64
+	AutoUndrains uint64
+	ConvergeErrs uint64
+	Converges    int // operator + monitor converges with recorded latency
+	TickErrors   int
+	Rejections   int // operator converges that failed and were retried
+
+	MTTRDrain   []time.Duration // kill -> monitor auto-drain, per kill
+	MTTRReadmit []time.Duration // restart -> monitor auto-undrain, per kill
+
+	P50Deploy, P99Deploy time.Duration
+
+	HeapGrowthMB       float64
+	GoroutineBaseline  int
+	GoroutineEnd       int
+	ProvenanceMixups   int
+	TrackedAgentsFinal int
+
+	Violations []string
+}
+
+// Passed reports whether every soak assertion held.
+func (r *SoakResult) Passed() bool { return len(r.Violations) == 0 }
+
+// soakSwitch is one fleet member's moving parts.
+type soakSwitch struct {
+	name string
+	id   int // topology node id
+
+	agent *rpc.Agent
+	exp   *telemetry.Exporter
+	inj   *faults.Injector
+	addr  string
+
+	dead      bool
+	restartAt int // round to restart at (when dead)
+	partedTo  int // round a partition heals at (0 = not partitioned)
+}
+
+// soakKill records one injected switch failure for MTTR accounting.
+type soakKill struct {
+	name      string
+	killedAt  time.Time
+	restarted time.Time
+}
+
+// soakNet is the full soak fleet: netsim dataplane, TCP agents behind
+// per-switch fault injectors, push telemetry, orchestrator, health
+// monitor.
+type soakNet struct {
+	cfg    SoakConfig
+	net    *netsim.Network
+	h1, h2 int
+
+	svc     *telemetry.Service
+	svcLn   net.Listener
+	clients map[string]*rpc.Client
+	sws     map[string]*soakSwitch
+	names   []string
+
+	ctl  *controller.Remote
+	orch *orchestrator.Orchestrator
+	mon  *orchestrator.Monitor
+
+	// allowed accumulates, per tenant query name, every switch any
+	// applied plan ever placed it on — the provenance ground truth the
+	// analyzer's Contributors sets are audited against.
+	allowed map[string]map[string]bool
+
+	kills    []*soakKill
+	deployNs []int64 // operator converge latencies
+}
+
+func (sn *soakNet) dialExporter(sw *soakSwitch, eng *modules.Engine) error {
+	addr := sn.svcLn.Addr().String()
+	redial := func() (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return sw.inj.Conn(c), nil
+	}
+	conn, err := redial()
+	if err != nil {
+		return err
+	}
+	exp, err := telemetry.NewExporter(conn, telemetry.ExporterConfig{
+		SwitchID: sw.name, Redial: redial, Policy: telemetry.PolicyDropOldest,
+		ReconnectMin: time.Millisecond, ReconnectMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	exp.AttachAgent(sw.agent, eng)
+	sw.exp = exp
+	return nil
+}
+
+func newSoakNet(cfg SoakConfig) (*soakNet, error) {
+	topo, h1, h2 := topology.Linear(cfg.Switches)
+	n, err := netsim.New(topo, netsim.Config{Stages: 8, ArraySize: 1 << 14})
+	if err != nil {
+		return nil, err
+	}
+	sn := &soakNet{
+		cfg: cfg, net: n, h1: h1, h2: h2,
+		svc:     telemetry.NewService(telemetry.ServiceConfig{KeepEpochs: 8}),
+		clients: map[string]*rpc.Client{},
+		sws:     map[string]*soakSwitch{},
+		allowed: map[string]map[string]bool{},
+	}
+	sn.svcLn, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go sn.svc.Serve(sn.svcLn)
+
+	budgets := map[string]scheduler.Budget{}
+	for i, id := range topo.Switches() {
+		node := n.Node(id)
+		name := node.DP.ID
+		sn.names = append(sn.names, name)
+		sw := &soakSwitch{name: name, id: id,
+			inj: faults.New(faults.Config{Seed: cfg.Seed + int64(i)})}
+		sw.agent = rpc.NewAgent(node.DP, node.Eng)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		sw.addr = ln.Addr().String()
+		go sw.agent.Serve(sw.inj.Listener(ln))
+
+		c, err := rpc.DialOptions(sw.addr, rpc.Options{
+			Timeout: 250 * time.Millisecond, Retries: 3,
+			BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+			Seed: cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sn.clients[name] = c
+		if err := sn.dialExporter(sw, node.Eng); err != nil {
+			return nil, err
+		}
+		sn.sws[name] = sw
+		budgets[name] = scheduler.Budget{Stages: 8, ArraySize: 1 << 14, RulesPerModule: 256}
+	}
+	sort.Strings(sn.names)
+
+	sn.ctl = controller.NewRemote(sn.clients, cfg.Seed)
+	sn.ctl.AttachTelemetry(sn.svc)
+	sn.orch, err = orchestrator.New(orchestrator.Config{Topo: topo, Budgets: budgets}, sn.ctl)
+	if err != nil {
+		return nil, err
+	}
+	sn.mon, err = orchestrator.NewMonitor(sn.orch, sn.orch.Switches(), orchestrator.HealthConfig{
+		Probe: func(name string) error {
+			_, err := sn.clients[name].Stats()
+			return err
+		},
+		// Telemetry silence only indicts a switch the fleet currently
+		// expects telemetry from: a switch hosting no query sends no
+		// snapshots and must not read as dead.
+		Liveness: func(name string) (time.Time, bool, bool) {
+			if !sn.hosting(name) {
+				return time.Time{}, false, false
+			}
+			return sn.svc.AgentLiveness(name)
+		},
+		MaxSilence: 2 * time.Second,
+		Offline:    sn.ctl.SetOffline,
+		// Compressed ladder for round-driven churn: two consecutive bad
+		// rounds drain, two consecutive good rounds re-admit.
+		SuspectAfter: 1, DownAfter: 1, RecoverAfter: 2,
+		ForgetAfter: time.Hour, // outages here are short; forgetting is unit-tested
+		OnForget:    func(name string) { sn.svc.ForgetAgent(name) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sn, nil
+}
+
+// hosting reports whether any deployed query currently places work on
+// the named switch.
+func (sn *soakNet) hosting(name string) bool {
+	for _, qp := range sn.orch.Deployed() {
+		for _, t := range qp.Targets {
+			if t == name {
+				return true
+			}
+		}
+		if _, ok := qp.Parts[name]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// noteAllowed folds the current deployment into the cumulative
+// provenance ground truth.
+func (sn *soakNet) noteAllowed() {
+	for name, qp := range sn.orch.Deployed() {
+		set := sn.allowed[name]
+		if set == nil {
+			set = map[string]bool{}
+			sn.allowed[name] = set
+		}
+		for _, t := range qp.Targets {
+			set[t] = true
+		}
+		for sw := range qp.Parts {
+			set[sw] = true
+		}
+	}
+}
+
+// converge runs an operator-path converge, recording its latency.
+// Errors are tolerated (a converge racing a dying switch fails; the
+// monitor's dirty-retry or the next operator call finishes the job).
+func (sn *soakNet) converge() error {
+	start := time.Now()
+	_, _, err := sn.orch.Converge()
+	sn.deployNs = append(sn.deployNs, time.Since(start).Nanoseconds())
+	if err == nil {
+		sn.noteAllowed()
+	}
+	return err
+}
+
+// kill models a switch crash: the agent's listener and conns close, the
+// exporter dies with the process.
+func (sn *soakNet) kill(sw *soakSwitch, round int) {
+	sw.exp.Close()
+	_ = sw.agent.Close()
+	sw.dead = true
+	sw.restartAt = round + sn.cfg.DownFor
+	sn.kills = append(sn.kills, &soakKill{name: sw.name, killedAt: time.Now()})
+}
+
+// restart brings a killed switch back with an empty engine on the same
+// address — the reboot-lost-everything case. The deferred removes the
+// controller pinned while it was offline flush on re-admission.
+func (sn *soakNet) restart(sw *soakSwitch) error {
+	node := sn.net.Node(sw.id)
+	layout, err := modules.NewLayout(modules.LayoutCompact, 8, 1<<14)
+	if err != nil {
+		return err
+	}
+	eng := modules.NewEngine(layout)
+	node.Layout, node.Eng = layout, eng
+	node.DP.Monitor = eng
+	sw.agent = rpc.NewAgent(node.DP, eng)
+	ln, err := net.Listen("tcp", sw.addr)
+	if err != nil {
+		return err
+	}
+	go sw.agent.Serve(sw.inj.Listener(ln))
+	if err := sn.dialExporter(sw, eng); err != nil {
+		return err
+	}
+	sw.dead = false
+	for i := len(sn.kills) - 1; i >= 0; i-- {
+		if k := sn.kills[i]; k.name == sw.name && k.restarted.IsZero() {
+			k.restarted = time.Now()
+			break
+		}
+	}
+	return nil
+}
+
+func (sn *soakNet) close() {
+	for _, sw := range sn.sws {
+		if sw.exp != nil {
+			sw.exp.Close()
+		}
+		sw.agent.Close()
+	}
+	for _, c := range sn.clients {
+		c.Close()
+	}
+	sn.svc.Close()
+	sn.svcLn.Close()
+}
+
+// tenantIntents builds every tenant's current intent set from the
+// active map (tenant -> query index -> active).
+func tenantIntents(tenants int, active map[[2]int]bool) []orchestrator.Intent {
+	var out []orchestrator.Intent
+	for t := 0; t < tenants; t++ {
+		for qi := 0; qi < 2; qi++ {
+			if !active[[2]int{t, qi}] {
+				continue
+			}
+			var q *query.Query
+			if qi == 0 {
+				q = query.Q1(3)
+			} else {
+				q = query.Q4(3)
+			}
+			cp := *q
+			cp.Name = fmt.Sprintf("t%d/%s", t, q.Name)
+			out = append(out, orchestrator.Intent{Query: &cp, Priority: 10 - t})
+		}
+	}
+	return out
+}
+
+func heapMB() float64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+func quantileNs(ns []int64, q float64) time.Duration {
+	if len(ns) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), ns...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return time.Duration(s[idx])
+}
+
+// Soak runs the churn soak and returns its metrics and verdict.
+func Soak(cfg SoakConfig) *SoakResult {
+	cfg = cfg.withDefaults()
+	res := &SoakResult{Seed: cfg.Seed, Switches: cfg.Switches,
+		Tenants: cfg.Tenants, Rounds: cfg.Rounds}
+
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	res.GoroutineBaseline = runtime.NumGoroutine()
+
+	sn, err := newSoakNet(cfg)
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("fleet build: %v", err))
+		return res
+	}
+	rng := newSoakRNG(cfg.Seed)
+
+	tr := trace.Generate(trace.Config{Seed: cfg.Seed, Flows: 400, Duration: 400 * time.Millisecond},
+		trace.SYNFlood{Victim: 0x0A0000AA, Packets: 400})
+	perRound := len(tr.Packets) / cfg.Rounds
+	if perRound == 0 {
+		perRound = 1
+	}
+
+	// All tenants start fully subscribed; churn toggles from here.
+	active := map[[2]int]bool{}
+	for t := 0; t < cfg.Tenants; t++ {
+		active[[2]int{t, 0}] = true
+		active[[2]int{t, 1}] = true
+	}
+	sn.orch.SetIntents(tenantIntents(cfg.Tenants, active))
+	needConverge := sn.converge() != nil
+
+	var drainedByOp string
+	heapAfterWarmup := 0.0
+	// The warmup heap sample waits for the analyzer's epoch-retention
+	// ring (KeepEpochs) to fill: before the plateau, resident merged
+	// epochs still legitimately accumulate and would read as growth.
+	warmup := cfg.Rounds / 2
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Restart switches whose outage has run its course.
+		for _, name := range sn.names {
+			sw := sn.sws[name]
+			if sw.dead && round >= sw.restartAt {
+				if err := sn.restart(sw); err != nil {
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("round %d: restart %s: %v", round, name, err))
+				}
+			}
+			if sw.partedTo != 0 && round >= sw.partedTo {
+				sw.inj.Heal()
+				sw.partedTo = 0
+			}
+		}
+
+		// One churn or fault op per round, from the seeded schedule.
+		switch {
+		case cfg.KillEvery > 0 && round%cfg.KillEvery == cfg.KillEvery-1:
+			if name := sn.pickAlive(rng, drainedByOp); name != "" {
+				sn.kill(sn.sws[name], round)
+				res.Kills++
+			}
+		case round%7 == 3:
+			if name := sn.pickAlive(rng, drainedByOp); name != "" {
+				sw := sn.sws[name]
+				sw.inj.Partition()
+				sw.partedTo = round + cfg.PartitionFor
+			}
+		case round%11 == 5:
+			if name := sn.pickAlive(rng, drainedByOp); name != "" {
+				sw := sn.sws[name]
+				sw.inj.Stall()
+				time.AfterFunc(60*time.Millisecond, sw.inj.Unstall)
+			}
+		case round%5 == 2:
+			// Operator drain/undrain toggle.
+			if drainedByOp != "" {
+				sn.orch.Undrain(drainedByOp)
+				drainedByOp = ""
+				needConverge = true
+			} else if name := sn.pickAlive(rng, ""); name != "" {
+				sn.orch.Drain(name)
+				drainedByOp = name
+				needConverge = true
+			}
+		default:
+			// Tenant intent toggle.
+			key := [2]int{rng.intn(cfg.Tenants), rng.intn(2)}
+			active[key] = !active[key]
+			sn.orch.SetIntents(tenantIntents(cfg.Tenants, active))
+			needConverge = true
+		}
+
+		if needConverge {
+			if err := sn.converge(); err != nil {
+				res.Rejections++
+			} else {
+				needConverge = false
+			}
+		}
+
+		// Pump this round's slice of traffic and roll epochs so live
+		// switches snapshot their banks to the analyzer.
+		lo := round * perRound
+		hi := lo + perRound
+		if hi > len(tr.Packets) {
+			hi = len(tr.Packets)
+		}
+		for _, pkt := range tr.Packets[lo:hi] {
+			sn.net.Deliver(pkt, sn.h1, sn.h2)
+		}
+		if err := sn.ctl.Tick(); err != nil {
+			res.TickErrors++
+		}
+
+		sn.mon.Tick()
+		sn.noteAllowed()
+
+		// Provenance audit: a tenant query's contributors must be a
+		// subset of everywhere it was ever placed.
+		for name := range sn.orch.Deployed() {
+			qid := sn.orch.QID(name)
+			for _, swName := range sn.svc.Contributors(qid) {
+				if !sn.allowed[name][swName] {
+					res.ProvenanceMixups++
+					res.Violations = append(res.Violations, fmt.Sprintf(
+						"round %d: query %s (qid %d) has contributor %s never in its placement",
+						round, name, qid, swName))
+				}
+			}
+		}
+
+		if round == warmup {
+			heapAfterWarmup = heapMB()
+		}
+	}
+
+	// A kill landing on the last rounds may not have crossed the
+	// debounce ladder yet: keep ticking until the monitor has drained
+	// every still-dead switch, so each injected failure round-trips
+	// through auto-drain before the fleet is revived.
+	drainDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(drainDeadline) {
+		pending := false
+		for _, name := range sn.names {
+			if sn.sws[name].dead {
+				if st, _ := sn.mon.State(name); st != orchestrator.Down {
+					pending = true
+				}
+			}
+		}
+		if !pending {
+			break
+		}
+		sn.mon.Tick()
+		time.Sleep(time.Millisecond)
+	}
+
+	// Now revive everything still impaired and let the monitor finish
+	// re-admitting it.
+	for _, name := range sn.names {
+		sw := sn.sws[name]
+		if sw.dead {
+			if err := sn.restart(sw); err != nil {
+				res.Violations = append(res.Violations, fmt.Sprintf("final restart %s: %v", name, err))
+			}
+		}
+		if sw.partedTo != 0 {
+			sw.inj.Heal()
+			sw.partedTo = 0
+		}
+	}
+	if drainedByOp != "" {
+		sn.orch.Undrain(drainedByOp)
+		needConverge = true
+	}
+	settle := time.Now().Add(10 * time.Second)
+	for time.Now().Before(settle) {
+		rep := sn.mon.Tick()
+		snap := sn.mon.Snapshot()
+		allHealthy := true
+		for _, sw := range snap.Switches {
+			if sw.State != orchestrator.Healthy {
+				allHealthy = false
+			}
+		}
+		if allHealthy && rep.ConvergeErr == nil && !needConverge {
+			break
+		}
+		if needConverge && sn.converge() == nil {
+			needConverge = false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// End-state: the fleet must be fully reconverged — a pure plan
+	// reports no pending deltas.
+	if _, d, err := sn.orch.Plan(); err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("final plan: %v", err))
+	} else if !d.Empty() {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"fleet not reconverged after soak: %d pending deltas", len(d.Deltas)))
+	}
+
+	// MTTR per kill, from the monitor's event log: each kill record
+	// claims the first unclaimed auto-drain (resp. auto-undrain) for its
+	// switch at or after the kill (resp. restart) timestamp.
+	events := sn.mon.Events()
+	usedDrain := map[int]bool{}
+	usedReadmit := map[int]bool{}
+	for _, k := range sn.kills {
+		for i, ev := range events {
+			if ev.Switch != k.name || ev.At.Before(k.killedAt) {
+				continue
+			}
+			if ev.Action == "auto-drain" && !usedDrain[i] {
+				usedDrain[i] = true
+				res.MTTRDrain = append(res.MTTRDrain, ev.At.Sub(k.killedAt))
+				break
+			}
+		}
+		if k.restarted.IsZero() {
+			continue
+		}
+		for i, ev := range events {
+			if ev.Switch != k.name || ev.At.Before(k.restarted) {
+				continue
+			}
+			if ev.Action == "auto-undrain" && !usedReadmit[i] {
+				usedReadmit[i] = true
+				res.MTTRReadmit = append(res.MTTRReadmit, ev.At.Sub(k.restarted))
+				break
+			}
+		}
+	}
+
+	snap := sn.mon.Snapshot()
+	res.AutoDrains = snap.AutoDrains
+	res.AutoUndrains = snap.AutoUndrains
+	res.ConvergeErrs = snap.ConvergeErrs
+	allNs := append([]int64(nil), sn.deployNs...)
+	for _, d := range sn.mon.ConvergeDurations() {
+		allNs = append(allNs, d.Nanoseconds())
+	}
+	res.Converges = len(allNs)
+	res.P50Deploy = quantileNs(allNs, 0.50)
+	res.P99Deploy = quantileNs(allNs, 0.99)
+	res.TrackedAgentsFinal = sn.svc.TrackedAgents()
+
+	heapEnd := heapMB()
+	if heapAfterWarmup > 0 {
+		res.HeapGrowthMB = heapEnd - heapAfterWarmup
+	}
+
+	// Soak assertions.
+	if res.Kills > 0 && int(res.AutoDrains) < res.Kills {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"only %d auto-drains for %d kills: a dead switch was never drained", res.AutoDrains, res.Kills))
+	}
+	if res.Kills > 0 && len(res.MTTRDrain) < res.Kills {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"MTTR accounting found %d drains for %d kills", len(res.MTTRDrain), res.Kills))
+	}
+	if res.Kills > 0 && int(res.AutoUndrains) < res.Kills {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"only %d auto-undrains for %d kills: a recovered switch was never re-admitted", res.AutoUndrains, res.Kills))
+	}
+	if res.HeapGrowthMB > cfg.MaxHeapGrowthMB {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"heap grew %.1f MB since warmup (threshold %.1f MB)", res.HeapGrowthMB, cfg.MaxHeapGrowthMB))
+	}
+
+	sn.close()
+	deadline := time.Now().Add(5 * time.Second)
+	res.GoroutineEnd = runtime.NumGoroutine()
+	for res.GoroutineEnd > res.GoroutineBaseline+cfg.GoroutineSlack && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+		res.GoroutineEnd = runtime.NumGoroutine()
+	}
+	if res.GoroutineEnd > res.GoroutineBaseline+cfg.GoroutineSlack {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"goroutines leaked: baseline %d, after teardown %d (slack %d)",
+			res.GoroutineBaseline, res.GoroutineEnd, cfg.GoroutineSlack))
+	}
+	return res
+}
+
+// pickAlive returns a uniformly chosen switch that is up, not operator-
+// drained, and not the named exclusion ("" excludes nothing). It keeps
+// at least two switches untouched so the fleet always has somewhere to
+// re-place queries.
+func (sn *soakNet) pickAlive(rng *soakRNG, exclude string) string {
+	var cands []string
+	impaired := 0
+	for _, name := range sn.names {
+		sw := sn.sws[name]
+		if sw.dead || sw.partedTo != 0 || name == exclude || sn.orch.IsDrained(name) {
+			impaired++
+			continue
+		}
+		cands = append(cands, name)
+	}
+	if len(cands) <= 2 {
+		return ""
+	}
+	return cands[rng.intn(len(cands))]
+}
+
+// soakRNG is a tiny seeded splitmix64, so the churn schedule never
+// perturbs the shared math/rand state.
+type soakRNG struct{ s uint64 }
+
+func newSoakRNG(seed int64) *soakRNG { return &soakRNG{s: uint64(seed)*2654435769 + 1} }
+
+func (r *soakRNG) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *soakRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// String renders the soak verdict and metrics table.
+func (r *SoakResult) String() string {
+	t := &table{header: []string{"Metric", "Value"}}
+	t.add("Seed", fmt.Sprintf("%d", r.Seed))
+	t.add("Fleet", fmt.Sprintf("%d switches, %d tenants, %d rounds", r.Switches, r.Tenants, r.Rounds))
+	t.add("Kills", i2s(r.Kills))
+	t.add("Auto-drains", fmt.Sprintf("%d", r.AutoDrains))
+	t.add("Auto-undrains", fmt.Sprintf("%d", r.AutoUndrains))
+	t.add("Converges (latency-tracked)", i2s(r.Converges))
+	t.add("Converge errors (retried)", fmt.Sprintf("%d", r.ConvergeErrs))
+	t.add("Deploy p50", r.P50Deploy.Round(time.Microsecond).String())
+	t.add("Deploy p99", r.P99Deploy.Round(time.Microsecond).String())
+	for i := range r.MTTRDrain {
+		t.add(fmt.Sprintf("MTTR kill %d -> drained", i+1), r.MTTRDrain[i].Round(time.Millisecond).String())
+	}
+	for i := range r.MTTRReadmit {
+		t.add(fmt.Sprintf("MTTR restart %d -> re-admitted", i+1), r.MTTRReadmit[i].Round(time.Millisecond).String())
+	}
+	t.add("Heap growth since warmup", fmt.Sprintf("%.2f MB", r.HeapGrowthMB))
+	t.add("Goroutines (baseline -> end)", fmt.Sprintf("%d -> %d", r.GoroutineBaseline, r.GoroutineEnd))
+	t.add("Provenance mixups", i2s(r.ProvenanceMixups))
+	t.add("Tracked agents (final)", i2s(r.TrackedAgentsFinal))
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	t.add("Verdict", verdict)
+	s := fmt.Sprintf("Churn soak: self-healing fleet under multi-tenant churn + seeded faults\n%s", t.String())
+	for _, v := range r.Violations {
+		s += "violation: " + v + "\n"
+	}
+	return s
+}
+
+// Metrics exports the soak numbers for newton-bench -json.
+func (r *SoakResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"kills":             float64(r.Kills),
+		"auto_drains":       float64(r.AutoDrains),
+		"auto_undrains":     float64(r.AutoUndrains),
+		"converge_errors":   float64(r.ConvergeErrs),
+		"deploy_p50_ms":     float64(r.P50Deploy) / float64(time.Millisecond),
+		"deploy_p99_ms":     float64(r.P99Deploy) / float64(time.Millisecond),
+		"heap_growth_mb":    r.HeapGrowthMB,
+		"goroutine_delta":   float64(r.GoroutineEnd - r.GoroutineBaseline),
+		"provenance_mixups": float64(r.ProvenanceMixups),
+		"violations":        float64(len(r.Violations)),
+	}
+	for i, d := range r.MTTRDrain {
+		m[fmt.Sprintf("mttr_drain_%d_ms", i+1)] = float64(d) / float64(time.Millisecond)
+	}
+	for i, d := range r.MTTRReadmit {
+		m[fmt.Sprintf("mttr_readmit_%d_ms", i+1)] = float64(d) / float64(time.Millisecond)
+	}
+	return m
+}

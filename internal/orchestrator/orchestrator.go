@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/newton-net/newton/internal/compiler"
 	"github.com/newton-net/newton/internal/controller"
@@ -178,8 +179,11 @@ type deployedState struct {
 	plan QueryPlan
 }
 
-// Orchestrator owns the fleet's intent set and deployment record.
+// Orchestrator owns the fleet's intent set and deployment record. All
+// public methods are safe for concurrent use: the health monitor
+// (health.go) and an operator shell may drive the same instance.
 type Orchestrator struct {
+	mu       sync.Mutex
 	cfg      Config
 	remote   *controller.Remote
 	intents  []Intent
@@ -213,18 +217,51 @@ func New(cfg Config, remote *controller.Remote) (*Orchestrator, error) {
 
 // SetIntents replaces the intent set. The next Plan/Apply converges the
 // network to it.
-func (o *Orchestrator) SetIntents(intents []Intent) { o.intents = append([]Intent(nil), intents...) }
+func (o *Orchestrator) SetIntents(intents []Intent) {
+	o.mu.Lock()
+	o.intents = append([]Intent(nil), intents...)
+	o.mu.Unlock()
+}
 
 // Drain excludes a switch from future plans (maintenance, failure). Its
 // installed partitions are removed by the next Apply.
-func (o *Orchestrator) Drain(name string) { o.drained[name] = true }
+func (o *Orchestrator) Drain(name string) {
+	o.mu.Lock()
+	o.drained[name] = true
+	o.mu.Unlock()
+}
 
 // Undrain returns a switch to the plannable fleet.
-func (o *Orchestrator) Undrain(name string) { delete(o.drained, name) }
+func (o *Orchestrator) Undrain(name string) {
+	o.mu.Lock()
+	delete(o.drained, name)
+	o.mu.Unlock()
+}
+
+// IsDrained reports whether a switch is currently excluded from plans.
+func (o *Orchestrator) IsDrained(name string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.drained[name]
+}
+
+// Switches returns the fleet's switch names, sorted.
+func (o *Orchestrator) Switches() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.cfg.Budgets))
+	for name := range o.cfg.Budgets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // SetBudget adds or resizes one switch's envelope.
 func (o *Orchestrator) SetBudget(name string, b scheduler.Budget) {
+	o.mu.Lock()
 	o.cfg.Budgets[name] = b
+	o.mu.Unlock()
 }
 
 // stagesPer resolves the partition size (see Config.StagesPerSwitch).
@@ -250,6 +287,12 @@ func (o *Orchestrator) stagesPer() int {
 // result against the recorded deployment. It is pure: no agent is
 // contacted until Apply.
 func (o *Orchestrator) Plan() (*Plan, Diff, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.planLocked()
+}
+
+func (o *Orchestrator) planLocked() (*Plan, Diff, error) {
 	o.obs.inc(&o.obs.plans)
 	trackers := map[string]*scheduler.Tracker{}
 	for name, b := range o.cfg.Budgets {
@@ -574,6 +617,12 @@ func containsInt(xs []int, x int) bool {
 // already-applied deltas stay recorded, so a retry applies only the
 // remainder.
 func (o *Orchestrator) Apply(p *Plan, d Diff) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.applyLocked(p, d)
+}
+
+func (o *Orchestrator) applyLocked(p *Plan, d Diff) error {
 	for _, dl := range d.Deltas {
 		switch dl.Action {
 		case ActionRemove:
@@ -607,15 +656,19 @@ func (o *Orchestrator) Apply(p *Plan, d Diff) error {
 // Converge is Plan followed by Apply — the one-call path for callers
 // that do not need to inspect the diff.
 func (o *Orchestrator) Converge() (*Plan, Diff, error) {
-	p, d, err := o.Plan()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, d, err := o.planLocked()
 	if err != nil {
 		return nil, Diff{}, err
 	}
-	return p, d, o.Apply(p, d)
+	return p, d, o.applyLocked(p, d)
 }
 
 // Deployed returns the recorded deployment: query name to (qid, plan).
 func (o *Orchestrator) Deployed() map[string]QueryPlan {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	out := make(map[string]QueryPlan, len(o.deployed))
 	for name, st := range o.deployed {
 		out[name] = st.plan
@@ -625,6 +678,8 @@ func (o *Orchestrator) Deployed() map[string]QueryPlan {
 
 // QID returns the deployed qid for a query name (0 if not deployed).
 func (o *Orchestrator) QID(name string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if st, ok := o.deployed[name]; ok {
 		return st.qid
 	}

@@ -1,0 +1,103 @@
+package rpc
+
+import (
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/faults"
+)
+
+// rpcLeakSeed mirrors the chaos experiments' NEWTON_FAULT_SEED
+// convention so CI's fault matrix varies the fault schedule here too.
+func rpcLeakSeed(t *testing.T) int64 {
+	t.Helper()
+	v := os.Getenv("NEWTON_FAULT_SEED")
+	if v == "" {
+		return 1
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("NEWTON_FAULT_SEED=%q: %v", v, err)
+	}
+	return n
+}
+
+// TestRedialLoopNoGoroutineLeak churns agents and clients through
+// kill/restart cycles under seeded faults — every kill forces the
+// client's redial path, and every agent restart re-registers fresh
+// conn-handler goroutines — then tears everything down and asserts the
+// process goroutine count returns to baseline. The regression this
+// guards is a conn handler or client reader that outlives its peer.
+func TestRedialLoopNoGoroutineLeak(t *testing.T) {
+	seed := rpcLeakSeed(t)
+	inj := faults.New(faults.Config{Seed: seed})
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	agent, _ := testAgent(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go agent.Serve(inj.Listener(ln))
+
+	c, err := DialOptions(addr, Options{
+		Timeout: time.Second, Retries: 8,
+		BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 4; round++ {
+		if _, err := c.Stats(); err != nil {
+			t.Fatalf("round %d: stats: %v", round, err)
+		}
+
+		// Kill the agent (its conn handlers and acceptor die) and
+		// restart a fresh one on the same address; the client's next
+		// call redials through its retry budget.
+		agent.Close()
+		next, _ := testAgent(t)
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatalf("round %d: relisten: %v", round, err)
+		}
+		go next.Serve(inj.Listener(ln))
+		agent = next
+
+		// A mid-round partition exercises the failing-redial path too.
+		if round%2 == 0 {
+			inj.Partition()
+			time.Sleep(3 * time.Millisecond)
+			inj.Heal()
+		}
+		if _, err := c.Stats(); err != nil {
+			t.Fatalf("round %d: stats after restart: %v", round, err)
+		}
+	}
+	if c.Counters().Redials == 0 {
+		t.Fatal("churn never exercised the redial path")
+	}
+
+	c.Close()
+	agent.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseline {
+		t.Fatalf("goroutines leaked across redial churn: baseline %d, now %d", baseline, n)
+	}
+}

@@ -221,9 +221,17 @@ type Agent struct {
 	// Replay cache (under mu): responses to recently executed requests
 	// by request ID, so a retransmitted call — same ID, usually on a
 	// fresh connection after a redial — is answered from cache instead
-	// of executed twice. Bounded FIFO.
-	replay     map[uint64]*Response
+	// of executed twice. Bounded two ways: FIFO count (replayCap) and
+	// age (replayTTL) — a retransmit only ever arrives within a few
+	// retry backoffs of the original, so entries older than the TTL are
+	// dead weight that a long-lived low-rate agent would otherwise hold
+	// for the capped maximum forever.
+	replay     map[uint64]replayEntry
 	replayFIFO []uint64
+
+	// nowFn overrides the replay cache clock in tests; nil means
+	// time.Now.
+	nowFn func() time.Time
 
 	// Drain cursor (under mu): how many fresh drains have been served,
 	// and the last batch for re-delivery when the client's ack shows it
@@ -232,15 +240,38 @@ type Agent struct {
 	lastDrain []dataplane.Report
 }
 
-// replayCap bounds the replay cache. Retransmits arrive within a few
-// RTTs of the original; anything older has aged out of relevance.
-const replayCap = 256
+// replayCap bounds the replay cache by count; replayTTL bounds it by
+// age. Retransmits arrive within a few RTTs of the original (the
+// client's entire retry budget spans seconds), so anything minutes old
+// has aged out of relevance.
+const (
+	replayCap = 256
+	replayTTL = 2 * time.Minute
+)
+
+// replayEntry is one cached response plus its insertion time, for
+// age-based eviction.
+type replayEntry struct {
+	resp *Response
+	at   time.Time
+}
 
 // NewAgent wraps a switch and its module engine.
 func NewAgent(sw *dataplane.Switch, eng *modules.Engine) *Agent {
 	return &Agent{sw: sw, eng: eng, conns: map[net.Conn]struct{}{},
-		replay: map[uint64]*Response{}}
+		replay: map[uint64]replayEntry{}}
 }
+
+// ReplayCacheLen returns the current replay cache population.
+func (a *Agent) ReplayCacheLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.replay)
+}
+
+// ReplayHits returns how many requests were answered from the replay
+// cache instead of re-executed.
+func (a *Agent) ReplayHits() uint64 { return atomic.LoadUint64(&a.replayHits) }
 
 // SetTelemetryHooks installs (or, with nils, removes) the telemetry
 // exporter's epoch and stats hooks under the dispatch lock, so they may
@@ -385,12 +416,26 @@ func (a *Agent) dispatch(req *Request) *Response {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	atomic.AddUint64(&a.requests, 1)
+	now := time.Now()
+	if a.nowFn != nil {
+		now = a.nowFn()
+	}
+	// Age out stale entries first — replayFIFO is insertion-ordered, so
+	// expired entries cluster at the front.
+	for len(a.replayFIFO) > 0 {
+		id := a.replayFIFO[0]
+		if now.Sub(a.replay[id].at) <= replayTTL {
+			break
+		}
+		delete(a.replay, id)
+		a.replayFIFO = a.replayFIFO[1:]
+	}
 	if req.ID != 0 {
 		if cached, ok := a.replay[req.ID]; ok {
 			// A retransmit of a call that already executed: replay the
 			// original response instead of running the op twice.
 			atomic.AddUint64(&a.replayHits, 1)
-			return cached
+			return cached.resp
 		}
 	}
 	resp := a.execute(req)
@@ -400,7 +445,7 @@ func (a *Agent) dispatch(req *Request) *Response {
 			delete(a.replay, a.replayFIFO[0])
 			a.replayFIFO = a.replayFIFO[1:]
 		}
-		a.replay[req.ID] = resp
+		a.replay[req.ID] = replayEntry{resp: resp, at: now}
 		a.replayFIFO = append(a.replayFIFO, req.ID)
 	}
 	return resp

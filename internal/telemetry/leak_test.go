@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/newton-net/newton/internal/dataplane"
+	"github.com/newton-net/newton/internal/faults"
+)
+
+// leakSeed mirrors the chaos experiments' NEWTON_FAULT_SEED convention
+// so CI's fault matrix varies the injected fault schedule here too.
+func leakSeed(t *testing.T) int64 {
+	t.Helper()
+	v := os.Getenv("NEWTON_FAULT_SEED")
+	if v == "" {
+		return 1
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("NEWTON_FAULT_SEED=%q: %v", v, err)
+	}
+	return n
+}
+
+// settleGoroutines polls until the goroutine count drops to at most
+// want, returning the final count. Goroutine teardown is asynchronous
+// (conn handlers observe closes on their next read), so a single
+// instantaneous sample would flake.
+func settleGoroutines(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestExporterReconnectLoopNoGoroutineLeak churns an exporter through
+// repeated stream kills (forcing the reconnect loop to spawn and run
+// under injected resets) and restarts, then closes everything and
+// asserts the process goroutine count returns to its baseline — the
+// regression this guards is an exporter whose reconnect or writer
+// goroutine outlives Close.
+func TestExporterReconnectLoopNoGoroutineLeak(t *testing.T) {
+	inj := faults.New(faults.Config{Seed: leakSeed(t)})
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 4; round++ {
+		svc := NewService(ServiceConfig{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go svc.Serve(inj.Listener(ln))
+		addr := ln.Addr().String()
+
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redial := func() (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Conn(c), nil
+		}
+		exp, err := NewExporter(inj.Conn(conn), ExporterConfig{
+			SwitchID:     "s1",
+			Redial:       redial,
+			Policy:       PolicyDropOldest,
+			ReconnectMin: time.Millisecond,
+			ReconnectMax: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Kill the live stream twice per round: a partition makes every
+		// wrapped conn (current and freshly redialed) error, spawning the
+		// reconnect loop and running its failing-redial backoff path;
+		// healing lets it re-establish.
+		for kill := 0; kill < 2; kill++ {
+			inj.Partition()
+			exp.Export([]dataplane.Report{{SwitchID: "s1", QueryID: 1, State: uint64(round)}})
+			time.Sleep(5 * time.Millisecond)
+			inj.Heal()
+			deadline := time.Now().Add(3 * time.Second)
+			for exp.Stats().Reconnects < uint64(kill+1) && time.Now().Before(deadline) {
+				exp.Export([]dataplane.Report{{SwitchID: "s1", QueryID: 1, State: uint64(round)}})
+				time.Sleep(2 * time.Millisecond)
+			}
+			if got := exp.Stats().Reconnects; got < uint64(kill+1) {
+				t.Fatalf("round %d: exporter never reconnected (%d reconnects)", round, got)
+			}
+		}
+
+		exp.Close()
+		svc.Close()
+		ln.Close()
+	}
+
+	if n := settleGoroutines(t, baseline); n > baseline {
+		t.Fatalf("goroutines leaked across exporter churn: baseline %d, now %d", baseline, n)
+	}
+}

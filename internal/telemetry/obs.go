@@ -51,6 +51,9 @@ func (s *Service) RegisterObs(reg *obs.Registry) {
 	reg.GaugeFunc("newton_analyzer_live_agents",
 		"Agents with an open telemetry stream right now.",
 		func() float64 { return float64(s.Stats().LiveAgents) })
+	reg.GaugeFunc("newton_analyzer_tracked_agents",
+		"Switches with resident per-agent bookkeeping (shrinks via ForgetAgent).",
+		func() float64 { return float64(s.TrackedAgents()) })
 	reg.CounterFunc("newton_analyzer_reports_total",
 		"Raw reports ingested (pre-dedup).",
 		stat(func(st ServiceStats) uint64 { return st.Reports }))

@@ -709,6 +709,60 @@ func (s *Service) Stats() ServiceStats {
 	}
 }
 
+// ForgetAgent releases the per-agent bookkeeping for a switch that has
+// been permanently removed from the fleet, so a long-lived analyzer
+// does not hold one agents-map entry (plus learned expected-contributor
+// membership) per switch it has ever seen. It refuses — returning
+// false — while the agent still has a stream open: forgetting a live
+// switch would silently reset its gap/liveness accounting. Pinned
+// expected sets are left alone (the controller owns those via
+// SetExpected); only learned memberships are unlearned.
+func (s *Service) ForgetAgent(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.agents[id]
+	if a == nil || a.Streams > 0 {
+		return false
+	}
+	delete(s.agents, id)
+	for qid, exp := range s.expected {
+		if !s.pinned[qid] {
+			delete(exp, id)
+		}
+	}
+	return true
+}
+
+// TrackedAgents returns how many switches the service currently holds
+// per-agent bookkeeping for — the population behind the
+// newton_analyzer_tracked_agents gauge.
+func (s *Service) TrackedAgents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.agents)
+}
+
+// Contributors returns the switches that contributed at least one bank
+// snapshot to qid across the retained epochs, sorted. This is the
+// provenance surface a soak harness audits: a switch a tenant's query
+// was never placed on must never appear here.
+func (s *Service) Contributors(qid int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]bool{}
+	for _, byEpoch := range s.contrib[qid] {
+		for id := range byEpoch {
+			set[id] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // AgentStats returns the per-agent accounting for switch id (reports
 // and snapshots ingested, plus the agent's final exporter counters once
 // it said bye — the explicit loss account).
