@@ -65,6 +65,7 @@ func main() {
 				Seed: *fseed, Switches: *soakSw, Rounds: *soakRds, Tenants: *soakTen,
 			})
 		},
+		"export":      func() fmt.Stringer { return experiments.ExportOverhead(3, *dur) },
 		"table3":      func() fmt.Stringer { return experiments.Table3() },
 		"ablation":    func() fmt.Stringer { return experiments.Ablation() },
 		"fig10":       func() fmt.Stringer { return experiments.Fig10Interruption(2000, 40, 20000) },

@@ -101,13 +101,18 @@ func runOrch(cmd string, args []string) {
 type orchFleet struct {
 	names   []string
 	clients map[string]*rpc.Client
+	agents  map[string]*rpc.Agent
 	engines map[string]*modules.Engine
 }
 
 // buildFleet starts one agent per topology switch with identical
 // budgets.
 func buildFleet(topo *topology.Topology, stages int, arraySize uint32, rules int) (*orchFleet, map[string]scheduler.Budget) {
-	f := &orchFleet{clients: map[string]*rpc.Client{}, engines: map[string]*modules.Engine{}}
+	f := &orchFleet{
+		clients: map[string]*rpc.Client{},
+		agents:  map[string]*rpc.Agent{},
+		engines: map[string]*modules.Engine{},
+	}
 	budgets := map[string]scheduler.Budget{}
 	for _, id := range topo.Switches() {
 		name := topo.Node(id).Name
@@ -123,6 +128,7 @@ func buildFleet(topo *topology.Topology, stages int, arraySize uint32, rules int
 		go agent.HandleConn(server)
 		f.names = append(f.names, name)
 		f.clients[name] = rpc.NewClient(client)
+		f.agents[name] = agent
 		f.engines[name] = eng
 		budgets[name] = scheduler.Budget{Stages: stages, ArraySize: arraySize, RulesPerModule: rules}
 	}

@@ -17,25 +17,46 @@ import (
 // ExportRow is one export-discipline measurement.
 type ExportRow struct {
 	Mode     string
-	Reports  int    // alerts that reached the analyzer
-	Frames   uint64 // wire messages, both channels, both directions
-	Bytes    uint64 // wire bytes, both channels, both directions
-	PerAlert float64
+	Reports  int     // alerts that reached the analyzer
+	Frames   uint64  // wire messages, both channels, both directions
+	Bytes    uint64  // wire bytes, both channels, both directions
+	PerEpoch float64 // wire bytes per evaluation window
+	EncodeNs uint64  // exporter time spent encoding + compressing payloads
 }
 
 // ExportResult compares the controller's report-delivery disciplines on
 // identical traffic: polling every agent each window over the control
-// channel versus the streaming telemetry plane pushing batches only
-// when reports exist (optionally with epoch sketch snapshots, which buy
-// the analyzer its network-wide merged view).
+// channel, the streaming telemetry plane pushing JSON frames, the
+// binary wire codec sending every snapshot in full, and the binary
+// codec with delta-encoded snapshots between keyframes. All push modes
+// carry epoch sketch snapshots, which buy the analyzer its
+// network-wide merged view — the table prices that view per encoding.
 type ExportResult struct {
 	Switches, Windows int
 	Rows              []ExportRow
 }
 
+// Metrics exposes the per-mode wire cost for newton-bench -json, so CI
+// can archive the codec comparison across PRs.
+func (r *ExportResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"switches": float64(r.Switches),
+		"windows":  float64(r.Windows),
+	}
+	for _, row := range r.Rows {
+		m[row.Mode+"_bytes"] = float64(row.Bytes)
+		m[row.Mode+"_frames"] = float64(row.Frames)
+		m[row.Mode+"_bytes_per_epoch"] = row.PerEpoch
+		if row.EncodeNs > 0 {
+			m[row.Mode+"_encode_ns"] = float64(row.EncodeNs)
+		}
+	}
+	return m
+}
+
 // countConn wraps a conn and counts frames and bytes written through
-// it. Every frame is exactly two writes (header + body), so frames =
-// writes/2.
+// it. Every frame is exactly two writes (header + body) on both the
+// JSON and binary framings, so frames = writes/2.
 type countConn struct {
 	net.Conn
 	writes, bytes *atomic.Uint64
@@ -48,7 +69,20 @@ func (c countConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// ExportOverhead measures all three disciplines over nSwitches
+// exportModes maps each measured discipline to its exporter codec
+// configuration; Codec is ignored for the poll mode (no exporter).
+var exportModes = []struct {
+	name      string
+	codec     telemetry.Codec
+	keyframes int // 1 disables delta encoding; 0 keeps the default cadence
+}{
+	{"poll", telemetry.CodecJSON, 0},
+	{"json-push", telemetry.CodecJSON, 0},
+	{"binary-push", telemetry.CodecBinary, 1},
+	{"binary+delta", telemetry.CodecBinary, 0},
+}
+
+// ExportOverhead measures all four disciplines over nSwitches
 // replicated switches running Q1 against a SYN-flood trace.
 func ExportOverhead(nSwitches int, dur time.Duration) *ExportResult {
 	if nSwitches == 0 {
@@ -62,12 +96,12 @@ func ExportOverhead(nSwitches int, dur time.Duration) *ExportResult {
 		trace.SYNFlood{Victim: 0x0A0000AA, Packets: 900})
 	res := &ExportResult{Switches: nSwitches, Windows: int(uint64(dur) / window)}
 
-	for _, mode := range []string{"poll", "push", "push+snapshots"} {
+	for _, mode := range exportModes {
 		var writes, bytes atomic.Uint64
 		wrap := func(c net.Conn) net.Conn { return countConn{c, &writes, &bytes} }
 
 		var svc *telemetry.Service
-		if mode != "poll" {
+		if mode.name != "poll" {
 			svc = telemetry.NewService(telemetry.ServiceConfig{Window: time.Duration(window)})
 		}
 
@@ -94,13 +128,12 @@ func ExportOverhead(nSwitches int, dur time.Duration) *ExportResult {
 				go svc.HandleConn(sconn)
 				exp, err := telemetry.NewExporter(wrap(econn), telemetry.ExporterConfig{
 					SwitchID: sw.ID, Policy: telemetry.PolicyBlock,
+					Codec: mode.codec, KeyframeEvery: mode.keyframes,
 				})
 				if err != nil {
 					panic(err)
 				}
-				if mode == "push+snapshots" {
-					exp.AttachAgent(agent, eng)
-				}
+				exp.AttachAgent(agent, eng)
 				exps = append(exps, exp)
 			}
 		}
@@ -143,10 +176,12 @@ func ExportOverhead(nSwitches int, dur time.Duration) *ExportResult {
 			}
 		}
 		sync()
+		var encodeNs uint64
 		for _, exp := range exps {
 			if err := exp.Flush(); err != nil {
 				panic(err)
 			}
+			encodeNs += exp.Stats().EncodeNs
 			exp.Close()
 		}
 		if svc != nil {
@@ -158,10 +193,10 @@ func ExportOverhead(nSwitches int, dur time.Duration) *ExportResult {
 			c.Close()
 		}
 
-		row := ExportRow{Mode: mode, Reports: reports,
-			Frames: writes.Load() / 2, Bytes: bytes.Load()}
-		if reports > 0 {
-			row.PerAlert = float64(row.Bytes) / float64(reports)
+		row := ExportRow{Mode: mode.name, Reports: reports,
+			Frames: writes.Load() / 2, Bytes: bytes.Load(), EncodeNs: encodeNs}
+		if res.Windows > 0 {
+			row.PerEpoch = float64(row.Bytes) / float64(res.Windows)
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -170,10 +205,11 @@ func ExportOverhead(nSwitches int, dur time.Duration) *ExportResult {
 
 // String renders the comparison.
 func (r *ExportResult) String() string {
-	t := &table{header: []string{"Export path", "Alerts", "Wire msgs", "Wire bytes", "Bytes/alert"}}
+	t := &table{header: []string{"Export path", "Alerts", "Wire msgs", "Wire bytes", "Bytes/epoch", "Encode ns"}}
 	for _, row := range r.Rows {
-		t.add(row.Mode, i2s(row.Reports), i2s(int(row.Frames)), i2s(int(row.Bytes)), sci(row.PerAlert))
+		t.add(row.Mode, i2s(row.Reports), i2s(int(row.Frames)), i2s(int(row.Bytes)),
+			sci(row.PerEpoch), i2s(int(row.EncodeNs)))
 	}
-	return "Export overhead: polling vs streaming telemetry (" +
+	return "Export overhead: polling vs JSON vs binary telemetry (" +
 		i2s(r.Switches) + " switches, " + i2s(r.Windows) + " windows)\n" + t.String()
 }

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBinaryDeltaBeatsJSONFiveFold is the PR's wire-efficiency gate:
+// on the ExportOverhead workload the binary+delta codec must spend at
+// least 5x fewer bytes per epoch than the JSON push, and the
+// delta-free binary codec must also beat JSON outright. CI runs this
+// as the wire-codec bench smoke.
+func TestBinaryDeltaBeatsJSONFiveFold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments")
+	}
+	r := ExportOverhead(3, 500*time.Millisecond)
+	rows := map[string]ExportRow{}
+	for _, row := range r.Rows {
+		rows[row.Mode] = row
+	}
+	jsonPush, ok := rows["json-push"]
+	if !ok || jsonPush.PerEpoch == 0 {
+		t.Fatalf("json-push row missing or empty: %+v", r.Rows)
+	}
+	binary := rows["binary-push"]
+	delta := rows["binary+delta"]
+
+	if binary.Bytes >= jsonPush.Bytes {
+		t.Errorf("binary-push spent %d wire bytes vs JSON's %d; the binary codec must beat JSON",
+			binary.Bytes, jsonPush.Bytes)
+	}
+	if ratio := jsonPush.PerEpoch / delta.PerEpoch; ratio < 5 {
+		t.Errorf("binary+delta bytes/epoch = %.0f vs JSON's %.0f (%.1fx); gate requires >= 5x",
+			delta.PerEpoch, jsonPush.PerEpoch, ratio)
+	}
+	// Registers reset every epoch, so this workload has little temporal
+	// redundancy for deltas to mine; the encoder's per-bank fallback to
+	// sparse-full caps the delta mode's cost at the per-frame base-epoch
+	// varint. Allow that sliver, nothing more.
+	if float64(delta.Bytes) > float64(binary.Bytes)*1.02 {
+		t.Errorf("delta encoding spent more than full snapshots: %d vs %d bytes",
+			delta.Bytes, binary.Bytes)
+	}
+}

@@ -37,10 +37,10 @@ type SoakConfig struct {
 	// and client retry jitter — the run is reproducible from it
 	// (default 1).
 	Seed int64
-	// Switches sizes the linear fleet (default 5).
+	// Switches sizes the linear fleet (default 8).
 	Switches int
 	// Tenants is how many tenants contribute intents; each tenant owns
-	// a single-switch query and a partitioned query (default 3).
+	// a single-switch query and a partitioned query (default 4).
 	Tenants int
 	// Rounds is the churn round count (default 36). Each round applies
 	// one churn or fault operation, pumps traffic, rolls epochs, and
@@ -68,10 +68,10 @@ func (c SoakConfig) withDefaults() SoakConfig {
 		c.Seed = 1
 	}
 	if c.Switches == 0 {
-		c.Switches = 5
+		c.Switches = 8
 	}
 	if c.Tenants == 0 {
-		c.Tenants = 3
+		c.Tenants = 4
 	}
 	if c.Rounds == 0 {
 		c.Rounds = 36

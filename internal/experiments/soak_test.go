@@ -4,7 +4,7 @@ import (
 	"testing"
 )
 
-// TestSoakSmoke is the CI-sized churn soak: a 5-switch fleet under
+// TestSoakSmoke is the CI-sized churn soak: an 8-switch fleet under
 // multi-tenant intent churn, operator drains, and seeded kills,
 // partitions, and stalls — with the health monitor (never a manual
 // Reconverge) driving every drain and re-admission. The run's own

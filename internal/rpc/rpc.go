@@ -131,6 +131,15 @@ type ExportStats struct {
 	Snapshots uint64 `json:"snapshots"` // state-bank snapshot frames written
 
 	Reconnects uint64 `json:"reconnects,omitempty"` // analyzer streams re-established
+
+	// Wire codec counters (internal/wire), zero on JSON-only streams.
+	Codec            string `json:"codec,omitempty"`             // negotiated telemetry codec ("json" or "binary")
+	WireBytes        uint64 `json:"wire_bytes,omitempty"`        // bytes written to the telemetry stream, headers included
+	PayloadBytes     uint64 `json:"payload_bytes,omitempty"`     // encoded payload bytes before compression
+	CompressedFrames uint64 `json:"compressed_frames,omitempty"` // frames whose payload the flate gate shrank
+	DeltaBanks       uint64 `json:"delta_banks,omitempty"`       // snapshot banks sent as sparse deltas
+	KeyframeBanks    uint64 `json:"keyframe_banks,omitempty"`    // snapshot banks sent in full
+	EncodeNs         uint64 `json:"encode_ns,omitempty"`         // nanoseconds spent encoding wire payloads
 }
 
 // Response is one agent → controller message.

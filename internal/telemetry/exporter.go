@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/newton-net/newton/internal/dataplane"
 	"github.com/newton-net/newton/internal/modules"
 	"github.com/newton-net/newton/internal/rpc"
+	"github.com/newton-net/newton/internal/wire"
 )
 
 // ExporterConfig parameterizes a switch-side exporter.
@@ -22,6 +24,23 @@ type ExporterConfig struct {
 	BatchSize int
 	// Policy picks the overflow behavior when the ring fills.
 	Policy Policy
+
+	// Codec selects the stream encoding: CodecAuto (default) proposes
+	// the binary wire protocol at hello time and falls back to JSON if
+	// the peer never acks; CodecJSON forces the legacy framing;
+	// CodecBinary fails construction against a non-acking peer.
+	Codec Codec
+	// NegotiateTimeout bounds how long a CodecAuto/CodecBinary hello
+	// waits for the peer's hello-ack before deciding (default 2s).
+	NegotiateTimeout time.Duration
+	// KeyframeEvery is the snapshot keyframe cadence on binary streams:
+	// every Nth snapshot frame carries full banks, the rest delta-encode
+	// against the previous epoch (default wire.DefaultKeyframeEvery;
+	// 1 disables delta encoding).
+	KeyframeEvery int
+	// CompressMin is the payload size in bytes from which binary frames
+	// are flate-compressed (default 512; negative disables compression).
+	CompressMin int
 
 	// Redial, when set, enables auto-reconnect: after a stream error the
 	// exporter keeps monitoring (reports are dropped and counted, never
@@ -40,6 +59,15 @@ func (c ExporterConfig) withDefaults() ExporterConfig {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256
+	}
+	if c.NegotiateTimeout <= 0 {
+		c.NegotiateTimeout = 2 * time.Second
+	}
+	if c.KeyframeEvery <= 0 {
+		c.KeyframeEvery = wire.DefaultKeyframeEvery
+	}
+	if c.CompressMin == 0 {
+		c.CompressMin = 512
 	}
 	if c.ReconnectMin <= 0 {
 		c.ReconnectMin = 50 * time.Millisecond
@@ -62,6 +90,14 @@ type Exporter struct {
 	ring *ring
 
 	writeMu sync.Mutex // serializes frames on the stream; guards conn swap
+	// Stream codec state, guarded by writeMu alongside conn: whether
+	// this stream negotiated the binary protocol, its snapshot delta
+	// encoder (nil on JSON streams), and a reusable payload buffer.
+	binary bool
+	enc    *wire.SnapshotEncoder
+	payBuf []byte
+	lastDB uint64 // enc.DeltaBanks already folded into the mu counters
+	lastKB uint64 // enc.FullBanks already folded into the mu counters
 
 	mu           sync.Mutex
 	idle         *sync.Cond
@@ -71,6 +107,13 @@ type Exporter struct {
 	batches      uint64
 	snapshots    uint64
 	reconnects   uint64
+	codecBinary  bool   // current stream negotiated the binary codec
+	wireBytes    uint64 // bytes written to the stream, frame headers included
+	payloadBytes uint64 // encoded bytes before compression (headers included)
+	compressed   uint64 // frames the flate gate shrank
+	deltaBanks   uint64 // snapshot banks sent as sparse deltas
+	keyBanks     uint64 // snapshot banks sent in full
+	encodeNs     uint64 // time spent encoding wire payloads
 	writeErr     error
 	closed       bool
 	writerEnd    bool
@@ -95,7 +138,8 @@ type Exporter struct {
 
 // NewExporter starts an exporter over an established connection (TCP to
 // the analyzer, or one end of net.Pipe in tests). It sends the hello
-// frame synchronously and launches the stream writer.
+// frame synchronously, completes the codec negotiation, and launches
+// the stream writer.
 func NewExporter(conn net.Conn, cfg ExporterConfig) (*Exporter, error) {
 	cfg = cfg.withDefaults()
 	e := &Exporter{
@@ -105,12 +149,61 @@ func NewExporter(conn net.Conn, cfg ExporterConfig) (*Exporter, error) {
 		closeCh: make(chan struct{}),
 	}
 	e.idle = sync.NewCond(&e.mu)
-	if err := rpc.WriteFrame(conn, &Frame{Type: FrameHello, SwitchID: cfg.SwitchID}); err != nil {
-		return nil, fmt.Errorf("telemetry: hello: %w", err)
+	binary, err := negotiate(conn, cfg)
+	if err != nil {
+		return nil, err
 	}
+	e.setCodec(binary)
 	e.wg.Add(1)
 	go e.writer()
 	return e, nil
+}
+
+// negotiate opens a stream: it sends the hello (proposing the binary
+// wire protocol unless cfg forces JSON) and resolves the codec. A
+// hello-ack within NegotiateTimeout upgrades the stream; silence
+// leaves it on JSON (CodecAuto) or fails it (CodecBinary). The read
+// deadline is the only read an exporter ever performs on the stream.
+func negotiate(conn net.Conn, cfg ExporterConfig) (binary bool, err error) {
+	hello := &Frame{Type: FrameHello, SwitchID: cfg.SwitchID}
+	if cfg.Codec != CodecJSON {
+		hello.Wire = wire.Version1
+	}
+	if err := rpc.WriteFrame(conn, hello); err != nil {
+		return false, fmt.Errorf("telemetry: hello: %w", err)
+	}
+	if cfg.Codec == CodecJSON {
+		return false, nil
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(cfg.NegotiateTimeout))
+	var ack Frame
+	ackErr := rpc.ReadFrame(conn, &ack)
+	_ = conn.SetReadDeadline(time.Time{})
+	granted := ackErr == nil && ack.Type == FrameHelloAck && ack.Wire >= wire.Version1
+	if !granted && cfg.Codec == CodecBinary {
+		if ackErr == nil {
+			ackErr = fmt.Errorf("peer answered %q wire=%d", ack.Type, ack.Wire)
+		}
+		return false, fmt.Errorf("telemetry: binary codec required, negotiation failed: %w", ackErr)
+	}
+	return granted, nil
+}
+
+// setCodec installs the negotiated stream codec (writeMu side) and
+// mirrors it into the stats counters (mu side).
+func (e *Exporter) setCodec(binary bool) {
+	e.writeMu.Lock()
+	e.binary = binary
+	if binary {
+		e.enc = &wire.SnapshotEncoder{KeyframeEvery: e.cfg.KeyframeEvery}
+		e.lastDB, e.lastKB = 0, 0
+	} else {
+		e.enc = nil
+	}
+	e.writeMu.Unlock()
+	e.mu.Lock()
+	e.codecBinary = binary
+	e.mu.Unlock()
 }
 
 // Dial connects to an analyzer service and starts an exporter on the
@@ -179,7 +272,7 @@ func (e *Exporter) writer() {
 		dead := e.writeErr != nil
 		e.mu.Unlock()
 		if !dead {
-			err = e.writeFrame(&Frame{Type: FrameReports, SwitchID: e.cfg.SwitchID, Reports: batch})
+			err = e.writeReports(batch)
 		}
 		e.mu.Lock()
 		switch {
@@ -199,10 +292,106 @@ func (e *Exporter) writer() {
 	e.mu.Unlock()
 }
 
-func (e *Exporter) writeFrame(f *Frame) error {
+// countWriter counts bytes on their way to the stream so the wire
+// counters reflect what actually hit the socket, headers included.
+type countWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}
+
+// writeJSONLocked frames f with the legacy JSON encoding. Callers hold
+// writeMu.
+func (e *Exporter) writeJSONLocked(f *Frame) error {
+	cw := &countWriter{w: e.conn}
+	err := rpc.WriteFrame(cw, f)
+	e.mu.Lock()
+	e.wireBytes += cw.n
+	e.payloadBytes += cw.n
+	e.mu.Unlock()
+	return err
+}
+
+// writeBinaryLocked compresses (size-gated) and frames one binary
+// payload. encNs is the time the caller spent building the payload.
+// Callers hold writeMu.
+func (e *Exporter) writeBinaryLocked(kind wire.Kind, flags wire.Flags, payload []byte, encNs time.Duration) error {
+	start := time.Now()
+	wirePayload, zipped := wire.Compress(payload, e.cfg.CompressMin)
+	if zipped {
+		flags |= wire.FlagCompressed
+	}
+	encNs += time.Since(start)
+	cw := &countWriter{w: e.conn}
+	err := wire.WriteFrame(cw, kind, flags, wirePayload)
+	e.mu.Lock()
+	e.wireBytes += cw.n
+	e.payloadBytes += uint64(len(payload)) + wire.HeaderSize
+	if zipped {
+		e.compressed++
+	}
+	e.encodeNs += uint64(encNs)
+	e.mu.Unlock()
+	return err
+}
+
+// writeReports pushes one report batch with the stream's codec.
+func (e *Exporter) writeReports(batch []dataplane.Report) error {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
-	return rpc.WriteFrame(e.conn, f)
+	if !e.binary {
+		return e.writeJSONLocked(&Frame{Type: FrameReports, SwitchID: e.cfg.SwitchID, Reports: batch})
+	}
+	start := time.Now()
+	e.payBuf = wire.AppendReports(e.payBuf[:0], e.cfg.SwitchID, batch)
+	return e.writeBinaryLocked(wire.KindReports, 0, e.payBuf, time.Since(start))
+}
+
+// writeSnapshotLocked pushes one epoch snapshot with the stream's
+// codec. On binary streams the delta encoder commits its state at
+// encode time, so any write failure resets it — the next frame after
+// recovery is a keyframe the peer can ground on. Callers hold writeMu.
+func (e *Exporter) writeSnapshotLocked(epoch uint32, banks []modules.BankSnapshot) error {
+	if !e.binary {
+		return e.writeJSONLocked(&Frame{
+			Type: FrameSnapshot, SwitchID: e.cfg.SwitchID, Epoch: epoch, Snapshots: banks,
+		})
+	}
+	start := time.Now()
+	payload, flags := e.enc.Encode(e.payBuf[:0], epoch, banks)
+	e.payBuf = payload
+	err := e.writeBinaryLocked(wire.KindSnapshot, flags, payload, time.Since(start))
+	if err != nil {
+		e.enc.Reset()
+	}
+	db, kb := e.enc.DeltaBanks-e.lastDB, e.enc.FullBanks-e.lastKB
+	e.lastDB, e.lastKB = e.enc.DeltaBanks, e.enc.FullBanks
+	e.mu.Lock()
+	e.deltaBanks += db
+	e.keyBanks += kb
+	e.mu.Unlock()
+	return err
+}
+
+// writeBye sends the stream-closing stats frame with the stream's
+// codec.
+func (e *Exporter) writeBye(st rpc.ExportStats) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if !e.binary {
+		return e.writeJSONLocked(&Frame{Type: FrameBye, SwitchID: e.cfg.SwitchID, Stats: &st})
+	}
+	payload, err := wire.AppendBye(e.payBuf[:0], st)
+	e.payBuf = payload
+	if err != nil {
+		return err
+	}
+	return e.writeBinaryLocked(wire.KindBye, 0, payload, 0)
 }
 
 // noteWriteErrLocked records a stream error (first one wins) and, when
@@ -247,23 +436,41 @@ func (e *Exporter) reconnectLoop() {
 		e.mu.Lock()
 		epoch, banks, replay := e.lastSnapEpoch, e.lastSnapBanks, e.hasSnap
 		e.mu.Unlock()
-		if err := rpc.WriteFrame(conn, &Frame{Type: FrameHello, SwitchID: e.cfg.SwitchID}); err != nil {
+		// Each stream negotiates its codec afresh: the analyzer may have
+		// been replaced by an older (or newer) peer since the last one.
+		binary, err := negotiate(conn, e.cfg)
+		if err != nil {
 			conn.Close()
 			continue
 		}
+		// Swap the stream in before the replay: the writer stays parked on
+		// writeErr until the replay lands, so nothing else writes. A fresh
+		// delta encoder guarantees the replay is a keyframe — the new peer
+		// has no state to delta against.
+		e.writeMu.Lock()
+		old := e.conn
+		e.conn = conn
+		e.binary = binary
+		if binary {
+			e.enc = &wire.SnapshotEncoder{KeyframeEvery: e.cfg.KeyframeEvery}
+			e.lastDB, e.lastKB = 0, 0
+		} else {
+			e.enc = nil
+		}
+		e.writeMu.Unlock()
+		old.Close()
+		e.mu.Lock()
+		e.codecBinary = binary
+		e.mu.Unlock()
 		if replay {
-			if err := rpc.WriteFrame(conn, &Frame{
-				Type: FrameSnapshot, SwitchID: e.cfg.SwitchID, Epoch: epoch, Snapshots: banks,
-			}); err != nil {
+			e.writeMu.Lock()
+			err := e.writeSnapshotLocked(epoch, banks)
+			e.writeMu.Unlock()
+			if err != nil {
 				conn.Close()
 				continue
 			}
 		}
-		e.writeMu.Lock()
-		old := e.conn
-		e.conn = conn
-		e.writeMu.Unlock()
-		old.Close()
 		e.mu.Lock()
 		e.writeErr = nil
 		e.reconnecting = false
@@ -292,9 +499,10 @@ func (e *Exporter) ExportSnapshot(epoch uint32, banks []modules.BankSnapshot) er
 	if degraded != nil {
 		return fmt.Errorf("telemetry: snapshot while stream down: %w", degraded)
 	}
-	if err := e.writeFrame(&Frame{
-		Type: FrameSnapshot, SwitchID: e.cfg.SwitchID, Epoch: epoch, Snapshots: banks,
-	}); err != nil {
+	e.writeMu.Lock()
+	err := e.writeSnapshotLocked(epoch, banks)
+	e.writeMu.Unlock()
+	if err != nil {
 		e.mu.Lock()
 		e.noteWriteErrLocked(err)
 		e.mu.Unlock()
@@ -361,6 +569,10 @@ func (e *Exporter) Stats() rpc.ExportStats {
 	dropped, overflows := e.ring.stats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	codec := CodecJSON.String()
+	if e.codecBinary {
+		codec = CodecBinary.String()
+	}
 	return rpc.ExportStats{
 		Enqueued:   e.enqueued,
 		Exported:   e.exported,
@@ -369,6 +581,14 @@ func (e *Exporter) Stats() rpc.ExportStats {
 		Batches:    e.batches,
 		Snapshots:  e.snapshots,
 		Reconnects: e.reconnects,
+
+		Codec:            codec,
+		WireBytes:        e.wireBytes,
+		PayloadBytes:     e.payloadBytes,
+		CompressedFrames: e.compressed,
+		DeltaBanks:       e.deltaBanks,
+		KeyframeBanks:    e.keyBanks,
+		EncodeNs:         e.encodeNs,
 	}
 }
 
@@ -398,7 +618,7 @@ func (e *Exporter) Close() error {
 	e.wg.Wait() // writer drains all pending reports; reconnector exits
 
 	st := e.Stats()
-	_ = e.writeFrame(&Frame{Type: FrameBye, SwitchID: e.cfg.SwitchID, Stats: &st})
+	_ = e.writeBye(st)
 	e.writeMu.Lock()
 	err := e.conn.Close()
 	e.writeMu.Unlock()

@@ -20,12 +20,22 @@ import (
 	"github.com/newton-net/newton/internal/rpc"
 )
 
-// Frame types carried on the telemetry stream. Frames reuse the control
-// channel's length-framed JSON encoding (rpc.WriteFrame/rpc.ReadFrame),
-// so one wire discipline serves both planes.
+// Frame types carried on the telemetry stream. Every stream opens with
+// the control channel's length-framed JSON encoding
+// (rpc.WriteFrame/rpc.ReadFrame) — the bootstrap either side of any
+// version speaks. A hello that proposes the binary wire codec
+// (Frame.Wire) and is answered with a hello-ack upgrades the stream:
+// all subsequent frames use internal/wire's binary framing. A peer
+// that never acks (an old analyzer) leaves the stream on JSON — the
+// negotiation/fallback matrix lives in DESIGN.md §15.
 const (
-	// FrameHello opens a stream: the agent announces its switch ID.
+	// FrameHello opens a stream: the agent announces its switch ID and,
+	// optionally, the wire protocol version it can speak.
 	FrameHello = "hello"
+	// FrameHelloAck is the service's answer to a hello that proposed a
+	// wire upgrade; it is only sent when the hello carried Wire >= 1 (an
+	// old JSON exporter never reads, so it must never be written to).
+	FrameHelloAck = "hello_ack"
 	// FrameReports carries a batch of mirrored reports.
 	FrameReports = "reports"
 	// FrameSnapshot carries the epoch-boundary state-bank snapshots of
@@ -36,10 +46,42 @@ const (
 	FrameBye = "bye"
 )
 
+// Codec selects the telemetry stream encoding an exporter asks for.
+type Codec int
+
+const (
+	// CodecAuto proposes the binary wire protocol and falls back to
+	// JSON when the peer does not ack in time — the default.
+	CodecAuto Codec = iota
+	// CodecJSON never proposes an upgrade: pure legacy framing.
+	CodecJSON
+	// CodecBinary requires the binary protocol; construction fails if
+	// the peer does not ack.
+	CodecBinary
+)
+
+// String names the codec preference.
+func (c Codec) String() string {
+	switch c {
+	case CodecJSON:
+		return "json"
+	case CodecBinary:
+		return "binary"
+	}
+	return "auto"
+}
+
 // Frame is one telemetry-stream message.
 type Frame struct {
 	Type     string `json:"type"`
 	SwitchID string `json:"switch_id,omitempty"`
+
+	// Wire, on hello and hello-ack frames, negotiates the binary wire
+	// protocol: the agent proposes the highest internal/wire version it
+	// speaks, the service acks with the version granted. Old peers
+	// unmarshal JSON with unknown fields ignored, so the field is
+	// invisible to them and the stream stays JSON.
+	Wire int `json:"wire,omitempty"`
 
 	// Epoch tags snapshot frames with the register epoch that just
 	// ended (the window the snapshot captures).

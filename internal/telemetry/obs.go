@@ -37,6 +37,32 @@ func (e *Exporter) RegisterObs(reg *obs.Registry) {
 	reg.CounterFunc("newton_export_reconnects_total",
 		"Telemetry stream re-establishments.",
 		stat(func(s rpc.ExportStats) uint64 { return s.Reconnects }), sw)
+	reg.GaugeFunc("newton_export_codec_binary",
+		"1 when the current stream negotiated the binary wire codec, 0 on JSON.",
+		func() float64 {
+			if e.Stats().Codec == CodecBinary.String() {
+				return 1
+			}
+			return 0
+		}, sw)
+	reg.CounterFunc("newton_export_wire_bytes_total",
+		"Bytes written to the telemetry stream, frame headers included.",
+		stat(func(s rpc.ExportStats) uint64 { return s.WireBytes }), sw)
+	reg.CounterFunc("newton_export_payload_bytes_total",
+		"Encoded frame bytes before compression (what the stream would cost uncompressed).",
+		stat(func(s rpc.ExportStats) uint64 { return s.PayloadBytes }), sw)
+	reg.CounterFunc("newton_export_compressed_frames_total",
+		"Frames whose payload the flate size gate shrank.",
+		stat(func(s rpc.ExportStats) uint64 { return s.CompressedFrames }), sw)
+	reg.CounterFunc("newton_export_delta_banks_total",
+		"Snapshot banks sent as sparse deltas against the previous epoch.",
+		stat(func(s rpc.ExportStats) uint64 { return s.DeltaBanks }), sw)
+	reg.CounterFunc("newton_export_keyframe_banks_total",
+		"Snapshot banks sent in full (keyframes and delta fallbacks).",
+		stat(func(s rpc.ExportStats) uint64 { return s.KeyframeBanks }), sw)
+	reg.CounterFunc("newton_export_encode_ns_total",
+		"Nanoseconds spent encoding and compressing wire payloads.",
+		stat(func(s rpc.ExportStats) uint64 { return s.EncodeNs }), sw)
 }
 
 // RegisterObs exposes the analyzer service's merge accounting in reg.
@@ -75,4 +101,22 @@ func (s *Service) RegisterObs(reg *obs.Registry) {
 	reg.CounterFunc("newton_analyzer_partial_epochs_total",
 		"Superseded (query, epoch) merges missing expected contributors.",
 		stat(func(st ServiceStats) uint64 { return st.PartialEpochs }))
+	reg.GaugeFunc("newton_analyzer_binary_agents",
+		"Agents whose stream negotiated the binary wire codec.",
+		func() float64 { return float64(s.Stats().BinaryAgents) })
+	reg.CounterFunc("newton_analyzer_wire_bytes_total",
+		"Telemetry stream bytes ingested across agents, frame headers included.",
+		stat(func(st ServiceStats) uint64 { return st.WireBytes }))
+	reg.CounterFunc("newton_analyzer_raw_bytes_total",
+		"Uncompressed cost of the binary frames ingested (compression ratio = wire/raw).",
+		stat(func(st ServiceStats) uint64 { return st.RawBytes }))
+	reg.CounterFunc("newton_analyzer_delta_frames_total",
+		"Snapshot frames that arrived delta-encoded.",
+		stat(func(st ServiceStats) uint64 { return st.DeltaFrames }))
+	reg.CounterFunc("newton_analyzer_chain_breaks_total",
+		"Delta snapshots dropped for a missing base epoch (resynced at next keyframe).",
+		stat(func(st ServiceStats) uint64 { return st.ChainBreaks }))
+	reg.GaugeFunc("newton_analyzer_dedup_keys",
+		"Alert-dedup keys resident (bounded by KeepAlertWindows compaction).",
+		func() float64 { return float64(s.Stats().DedupKeys) })
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/newton-net/newton/internal/modules"
 	"github.com/newton-net/newton/internal/rpc"
 	"github.com/newton-net/newton/internal/sketch"
+	"github.com/newton-net/newton/internal/wire"
 )
 
 // ServiceConfig parameterizes the analyzer service.
@@ -25,6 +26,12 @@ type ServiceConfig struct {
 	// KeepEpochs bounds how many merged epochs stay resident per bank
 	// (default 16); older epochs are pruned as new ones arrive.
 	KeepEpochs int
+	// KeepAlertWindows bounds the alert-dedup memory: dedup keys whose
+	// window trails the newest seen window by more than this many
+	// windows are compacted away (default 64). Retention is what keeps
+	// analyzer heap flat under many keys — a late duplicate older than
+	// the horizon would re-alert, but its window has long been judged.
+	KeepAlertWindows int
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -33,6 +40,9 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	}
 	if c.KeepEpochs <= 0 {
 		c.KeepEpochs = 16
+	}
+	if c.KeepAlertWindows <= 0 {
+		c.KeepAlertWindows = 64
 	}
 	return c
 }
@@ -130,6 +140,30 @@ type agentInfo struct {
 	lastEpoch uint32
 	hasEpoch  bool
 	Gaps      uint64
+
+	wire WireInfo // per-stream codec and bytes-on-wire accounting
+}
+
+// WireInfo is the analyzer's view of one agent stream's wire usage.
+type WireInfo struct {
+	// Codec is the stream's negotiated encoding ("json" or "binary").
+	Codec string
+	// Frames and Bytes count everything read off the stream, frame
+	// headers included, for either codec.
+	Frames, Bytes uint64
+	// RawBytes is what the binary frames would have cost without
+	// compression (decompressed payload plus header); Bytes/RawBytes is
+	// the stream's compression ratio. Zero on JSON streams.
+	RawBytes uint64
+	// CompressedFrames counts binary frames that arrived flate-packed.
+	CompressedFrames uint64
+	// DeltaFrames and KeyframeFrames split the snapshot frames by
+	// encoding; DeltaFrames/(DeltaFrames+KeyframeFrames) is the stream's
+	// delta hit-rate.
+	DeltaFrames, KeyframeFrames uint64
+	// ChainBreaks counts delta snapshots dropped because their base
+	// epoch was not held (the stream resynced at the next keyframe).
+	ChainBreaks uint64
 }
 
 // Service is the analyzer-side half of the telemetry plane: a
@@ -148,7 +182,6 @@ type Service struct {
 
 	agents map[string]*agentInfo
 	merged map[bankKey]map[uint32]*MergedBank // bank -> epoch -> merge
-	epochs map[uint32]bool                    // epochs seen (for pruning order)
 
 	// Partial-epoch bookkeeping: which switches are expected to
 	// contribute snapshots per query (set explicitly by the controller
@@ -158,10 +191,17 @@ type Service struct {
 	pinned   map[int]bool // expected[qid] was set explicitly; stop learning
 	contrib  map[int]map[uint32]map[string]bool
 
-	seen    map[alertKey]bool
-	pending []dataplane.Report // deduped alerts not yet drained
-	subs    map[int]chan Event
-	nextSub int
+	// Alert dedup with bounded retention: maxWindow tracks the newest
+	// window seen, and once seen grows past seenCompactAt the keys
+	// older than KeepAlertWindows are compacted away (amortized — the
+	// threshold doubles with the surviving population, so compaction
+	// cost stays O(1) per report).
+	seen          map[alertKey]bool
+	maxWindow     uint64
+	seenCompactAt int
+	pending       []dataplane.Report // deduped alerts not yet drained
+	subs          map[int]chan Event
+	nextSub       int
 
 	// qEpoch tracks the highest snapshot epoch seen per query; when a
 	// query's epoch advances, the superseded epoch is judged final and
@@ -180,17 +220,17 @@ type Service struct {
 // NewService builds an analyzer service.
 func NewService(cfg ServiceConfig) *Service {
 	return &Service{
-		cfg:      cfg.withDefaults(),
-		conns:    map[net.Conn]struct{}{},
-		agents:   map[string]*agentInfo{},
-		merged:   map[bankKey]map[uint32]*MergedBank{},
-		epochs:   map[uint32]bool{},
-		expected: map[int]map[string]bool{},
-		pinned:   map[int]bool{},
-		contrib:  map[int]map[uint32]map[string]bool{},
-		seen:     map[alertKey]bool{},
-		subs:     map[int]chan Event{},
-		qEpoch:   map[int]uint32{},
+		cfg:           cfg.withDefaults(),
+		conns:         map[net.Conn]struct{}{},
+		agents:        map[string]*agentInfo{},
+		merged:        map[bankKey]map[uint32]*MergedBank{},
+		expected:      map[int]map[string]bool{},
+		pinned:        map[int]bool{},
+		contrib:       map[int]map[uint32]map[string]bool{},
+		seen:          map[alertKey]bool{},
+		seenCompactAt: minSeenCompact,
+		subs:          map[int]chan Event{},
+		qEpoch:        map[int]uint32{},
 	}
 }
 
@@ -239,39 +279,167 @@ func (s *Service) HandleConn(conn net.Conn) error {
 		conn.Close()
 	}()
 
+	cr := &countReader{r: conn}
 	var hello Frame
-	if err := rpc.ReadFrame(conn, &hello); err != nil {
+	if err := rpc.ReadFrame(cr, &hello); err != nil {
 		return fmt.Errorf("telemetry: reading hello: %w", err)
 	}
 	if hello.Type != FrameHello || hello.SwitchID == "" {
 		return fmt.Errorf("telemetry: stream did not open with hello (got %q)", hello.Type)
 	}
+	// Codec negotiation: a hello proposing the binary wire protocol is
+	// acked (granting the upgrade) and the stream switches framing. A
+	// plain hello is from a JSON-only exporter that never reads the
+	// stream — writing anything to it would deadlock an unbuffered pipe,
+	// so the ack is strictly ask-gated.
+	binary := hello.Wire >= wire.Version1
+	if binary {
+		ack := Frame{Type: FrameHelloAck, SwitchID: hello.SwitchID, Wire: wire.Version1}
+		if err := rpc.WriteFrame(conn, &ack); err != nil {
+			return fmt.Errorf("telemetry: hello-ack to %s: %w", hello.SwitchID, err)
+		}
+	}
 	agent := s.streamUp(hello.SwitchID)
 	defer s.streamDown(agent)
+	s.mu.Lock()
+	agent.wire.Codec = CodecJSON.String()
+	if binary {
+		agent.wire.Codec = CodecBinary.String()
+	}
+	s.mu.Unlock()
 
+	if binary {
+		return s.binaryLoop(cr, agent, hello.SwitchID)
+	}
+	return s.jsonLoop(cr, agent, hello.SwitchID)
+}
+
+// jsonLoop ingests a legacy JSON stream until it ends.
+func (s *Service) jsonLoop(cr *countReader, agent *agentInfo, switchID string) error {
 	for {
 		var f Frame
-		if err := rpc.ReadFrame(conn, &f); err != nil {
+		if err := rpc.ReadFrame(cr, &f); err != nil {
 			if cleanStreamErr(err) {
 				return nil
 			}
-			return fmt.Errorf("telemetry: agent %s: %w", hello.SwitchID, err)
+			return fmt.Errorf("telemetry: agent %s: %w", switchID, err)
 		}
 		s.touch(agent)
+		s.noteWire(agent, cr.take(), 0)
 		switch f.Type {
 		case FrameReports:
 			s.ingestReports(agent, f.Reports)
 		case FrameSnapshot:
-			s.ingestSnapshot(agent, hello.SwitchID, f.Epoch, f.Snapshots)
+			s.ingestSnapshot(agent, switchID, f.Epoch, f.Snapshots)
 		case FrameBye:
 			s.mu.Lock()
 			agent.Bye = f.Stats
 			s.mu.Unlock()
 			return nil
 		default:
-			return fmt.Errorf("telemetry: agent %s: unknown frame %q", hello.SwitchID, f.Type)
+			return fmt.Errorf("telemetry: agent %s: unknown frame %q", switchID, f.Type)
 		}
 	}
+}
+
+// binaryLoop ingests a stream that negotiated the binary wire
+// protocol. Each stream carries its own snapshot decoder: delta chains
+// are per-stream state, grounded by the keyframe the exporter sends
+// first (and after every reconnect, on a fresh stream).
+func (s *Service) binaryLoop(cr *countReader, agent *agentInfo, switchID string) error {
+	var dec wire.SnapshotDecoder
+	for {
+		hdr, payload, err := wire.ReadFrame(cr)
+		if err != nil {
+			if cleanStreamErr(err) {
+				return nil
+			}
+			return fmt.Errorf("telemetry: agent %s: %w", switchID, err)
+		}
+		s.touch(agent)
+		raw := uint64(len(payload)) + wire.HeaderSize
+		if hdr.Flags&wire.FlagCompressed != 0 {
+			if payload, err = wire.Decompress(payload); err != nil {
+				return fmt.Errorf("telemetry: agent %s: %w", switchID, err)
+			}
+			raw = uint64(len(payload)) + wire.HeaderSize
+			s.mu.Lock()
+			agent.wire.CompressedFrames++
+			s.mu.Unlock()
+		}
+		s.noteWire(agent, cr.take(), raw)
+		switch hdr.Kind {
+		case wire.KindReports:
+			rs, err := wire.DecodeReports(payload, switchID)
+			if err != nil {
+				return fmt.Errorf("telemetry: agent %s: %w", switchID, err)
+			}
+			s.ingestReports(agent, rs)
+		case wire.KindSnapshot:
+			epoch, banks, err := dec.Decode(payload)
+			if errors.Is(err, wire.ErrDeltaBase) {
+				// A frame this stream never saw separates us from the delta's
+				// base. Drop it — the encoder's next keyframe re-grounds the
+				// chain — and count the break.
+				s.mu.Lock()
+				agent.wire.ChainBreaks++
+				s.mu.Unlock()
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("telemetry: agent %s: %w", switchID, err)
+			}
+			s.mu.Lock()
+			if hdr.Flags&wire.FlagDelta != 0 {
+				agent.wire.DeltaFrames++
+			} else {
+				agent.wire.KeyframeFrames++
+			}
+			s.mu.Unlock()
+			s.ingestSnapshot(agent, switchID, epoch, banks)
+		case wire.KindBye:
+			st, err := wire.DecodeBye(payload)
+			if err != nil {
+				return fmt.Errorf("telemetry: agent %s: %w", switchID, err)
+			}
+			s.mu.Lock()
+			agent.Bye = &st
+			s.mu.Unlock()
+			return nil
+		default:
+			return fmt.Errorf("telemetry: agent %s: unknown binary frame kind %v", switchID, hdr.Kind)
+		}
+	}
+}
+
+// countReader counts stream bytes as they are read, so per-agent wire
+// accounting covers both codecs, headers included.
+type countReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += uint64(n)
+	return n, err
+}
+
+// take returns and clears the bytes read since the last call.
+func (cr *countReader) take() uint64 {
+	n := cr.n
+	cr.n = 0
+	return n
+}
+
+// noteWire folds one frame's wire bytes into the agent's
+// accounting. rawBytes is the uncompressed cost (binary streams only).
+func (s *Service) noteWire(agent *agentInfo, wireBytes, rawBytes uint64) {
+	s.mu.Lock()
+	agent.wire.Frames++
+	agent.wire.Bytes += wireBytes
+	agent.wire.RawBytes += rawBytes
+	s.mu.Unlock()
 }
 
 // streamUp registers a new stream for the switch: its first ever is a
@@ -329,6 +497,9 @@ func (s *Service) ingestReports(agent *agentInfo, rs []dataplane.Report) {
 	s.totalReports += uint64(len(rs))
 	for _, r := range rs {
 		w := r.TS / windowNs
+		if w > s.maxWindow {
+			s.maxWindow = w
+		}
 		key := alertKey{qid: r.QueryID, window: w, key: string(r.KeyMask.Bytes(&r.Keys, nil))}
 		if s.seen[key] {
 			s.dupAlerts++
@@ -338,8 +509,30 @@ func (s *Service) ingestReports(agent *agentInfo, rs []dataplane.Report) {
 		s.pending = append(s.pending, r)
 		fresh = append(fresh, Event{Kind: EventAlert, Report: r, Window: w})
 	}
+	s.compactSeenLocked()
 	s.publishLocked(fresh)
 	s.mu.Unlock()
+}
+
+// minSeenCompact is the dedup-map population below which compaction is
+// never attempted — small maps are cheaper to keep than to sweep.
+const minSeenCompact = 8192
+
+// compactSeenLocked bounds the alert-dedup memory: once the map
+// outgrows its amortization threshold, keys older than the
+// KeepAlertWindows horizon are dropped. The threshold then doubles
+// with the surviving population, so each key is visited O(1) times.
+func (s *Service) compactSeenLocked() {
+	if len(s.seen) < s.seenCompactAt || s.maxWindow < uint64(s.cfg.KeepAlertWindows) {
+		return
+	}
+	horizon := s.maxWindow - uint64(s.cfg.KeepAlertWindows)
+	for k := range s.seen {
+		if k.window < horizon {
+			delete(s.seen, k)
+		}
+	}
+	s.seenCompactAt = max(minSeenCompact, 2*len(s.seen))
 }
 
 // ingestSnapshot merges one agent's epoch snapshot into the
@@ -348,7 +541,6 @@ func (s *Service) ingestSnapshot(agent *agentInfo, switchID string, epoch uint32
 	s.mu.Lock()
 	agent.Snapshots++
 	s.totalSnapshots++
-	s.epochs[epoch] = true
 	// Epoch-gap detection: an exporter that reconnects resumes at its
 	// switch's current epoch; anything skipped in between is telemetry
 	// that never arrived.
@@ -461,7 +653,10 @@ func (s *Service) recordContribLocked(switchID string, epoch uint32, banks []mod
 // for query qid — the controller calls it after a deploy, so partial
 // epochs name exactly the missing deploy members instead of relying on
 // who happened to show up first. A nil or empty set unpins and clears
-// the query (used on Remove).
+// the query (used on Remove), releasing its merged banks and epoch
+// bookkeeping too: per-bank KeepEpochs pruning only bounds live
+// queries, so removed-query state would otherwise stay resident
+// forever on a long-lived analyzer.
 func (s *Service) SetExpected(qid int, switches []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -469,6 +664,12 @@ func (s *Service) SetExpected(qid int, switches []string) {
 		delete(s.expected, qid)
 		delete(s.pinned, qid)
 		delete(s.contrib, qid)
+		delete(s.qEpoch, qid)
+		for bk := range s.merged {
+			if bk.qid == qid {
+				delete(s.merged, bk)
+			}
+		}
 		return
 	}
 	exp := make(map[string]bool, len(switches))
@@ -684,6 +885,14 @@ type ServiceStats struct {
 	Reconnects      uint64 // agent streams re-established after a drop
 	EpochGaps       uint64 // snapshot epochs skipped across all agents
 	PartialEpochs   uint64 // superseded (query, epoch) merges missing expected contributors
+
+	// Wire accounting aggregated across agents.
+	BinaryAgents int    // agents whose current/last stream negotiated the binary codec
+	WireBytes    uint64 // stream bytes ingested, frame headers included
+	RawBytes     uint64 // uncompressed cost of the binary frames ingested
+	DeltaFrames  uint64 // snapshot frames that arrived delta-encoded
+	ChainBreaks  uint64 // delta snapshots dropped for a missing base epoch
+	DedupKeys    int    // alert-dedup keys resident (bounded by KeepAlertWindows compaction)
 }
 
 // Stats returns the current ingest counters.
@@ -691,14 +900,8 @@ func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	live := 0
-	for _, a := range s.agents {
-		if a.Streams > 0 {
-			live++
-		}
-	}
-	return ServiceStats{
+	st := ServiceStats{
 		Agents:          len(s.agents),
-		LiveAgents:      live,
 		Reports:         s.totalReports,
 		DuplicateAlerts: s.dupAlerts,
 		Snapshots:       s.totalSnapshots,
@@ -706,7 +909,35 @@ func (s *Service) Stats() ServiceStats {
 		Reconnects:      s.reconnects,
 		EpochGaps:       s.epochGaps,
 		PartialEpochs:   s.partialEpochs,
+		DedupKeys:       len(s.seen),
 	}
+	for _, a := range s.agents {
+		if a.Streams > 0 {
+			live++
+		}
+		if a.wire.Codec == CodecBinary.String() {
+			st.BinaryAgents++
+		}
+		st.WireBytes += a.wire.Bytes
+		st.RawBytes += a.wire.RawBytes
+		st.DeltaFrames += a.wire.DeltaFrames
+		st.ChainBreaks += a.wire.ChainBreaks
+	}
+	st.LiveAgents = live
+	return st
+}
+
+// AgentWire returns switch id's stream wire accounting: negotiated
+// codec, bytes on the wire vs their uncompressed cost, and the delta
+// snapshot hit/break counts.
+func (s *Service) AgentWire(id string) (WireInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.agents[id]
+	if a == nil {
+		return WireInfo{}, false
+	}
+	return a.wire, true
 }
 
 // ForgetAgent releases the per-agent bookkeeping for a switch that has

@@ -1,0 +1,31 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/newton-net/newton/internal/rpc"
+)
+
+// The bye frame closes a stream with the exporter's final counters. It
+// is sent once per stream, so its payload stays JSON: ExportStats can
+// grow fields without a wire version bump, and the framing (CRC, size
+// bound) still protects it.
+
+// AppendBye encodes a stream-closing stats payload.
+func AppendBye(dst []byte, st rpc.ExportStats) ([]byte, error) {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return dst, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return append(dst, body...), nil
+}
+
+// DecodeBye decodes a stream-closing stats payload.
+func DecodeBye(payload []byte) (rpc.ExportStats, error) {
+	var st rpc.ExportStats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return rpc.ExportStats{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return st, nil
+}
