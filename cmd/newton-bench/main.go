@@ -59,7 +59,8 @@ func main() {
 	}
 
 	suite := map[string]func() fmt.Stringer{
-		"chaos": func() fmt.Stringer { return experiments.ChaosRecovery(experiments.ChaosConfig{Seed: *fseed}) },
+		"adaptive": func() fmt.Stringer { return experiments.Adaptive(experiments.AdaptiveConfig{Seed: *fseed}) },
+		"chaos":    func() fmt.Stringer { return experiments.ChaosRecovery(experiments.ChaosConfig{Seed: *fseed}) },
 		"soak": func() fmt.Stringer {
 			return experiments.Soak(experiments.SoakConfig{
 				Seed: *fseed, Switches: *soakSw, Rounds: *soakRds, Tenants: *soakTen,

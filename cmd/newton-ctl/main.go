@@ -12,6 +12,7 @@
 //	newton-ctl plan -topology linear:3 -queries q1,q4    # network-wide plan + diff
 //	newton-ctl apply -topology linear:3 -queries q1,q4 -drain s2
 //	newton-ctl status -topology linear:3 -queries q1,q4 -kill s2  # fleet health + self-healing demo
+//	newton-ctl refine -target 0.25                       # closed-loop adaptive accuracy demo
 package main
 
 import (
@@ -45,6 +46,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "status" {
 		runStatus(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "refine" {
+		runRefine(os.Args[2:])
 		return
 	}
 	var (

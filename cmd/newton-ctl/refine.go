@@ -1,0 +1,45 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/newton-net/newton/internal/experiments"
+)
+
+// runRefine drives the closed-loop adaptive-accuracy demo: one
+// accuracy-declared intent under a calm -> surge -> calm Zipf SYN
+// workload, with the refiner walking the width ladder from the
+// analyzer's per-epoch error bounds. It prints the per-round
+// target-vs-observed trajectory, each resize decision, and the
+// memory spent relative to static worst-case provisioning.
+func runRefine(args []string) {
+	fs := flag.NewFlagSet("refine", flag.ExitOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "workload seed")
+		switches = fs.Int("switches", 3, "linear fleet size")
+		rounds   = fs.Int("rounds", 12, "rounds per phase (x3 phases)")
+		within   = fs.Int("within", 6, "convergence budget in rounds after each phase shift")
+		target   = fs.Float64("target", 0.25, "intent's target relative error")
+		calm     = fs.Int("calm", 2000, "SYN packets per calm round")
+		surge    = fs.Int("surge", 12000, "SYN packets per surge round")
+		minW     = fs.Uint("min-width", 256, "narrowest ladder rung")
+		maxW     = fs.Uint("max-width", 8192, "widest ladder rung (= static worst-case)")
+	)
+	fs.Parse(args)
+
+	res := experiments.Adaptive(experiments.AdaptiveConfig{
+		Seed: *seed, Switches: *switches, RoundsPerPhase: *rounds,
+		ConvergeWithin: *within, TargetRelErr: *target,
+		CalmPackets: *calm, SurgePackets: *surge,
+		MinWidth: uint32(*minW), MaxWidth: uint32(*maxW),
+	})
+	fmt.Print(res)
+	if !res.Passed() {
+		log.SetFlags(0)
+		log.Println("newton-ctl refine: closed-loop properties violated")
+		os.Exit(1)
+	}
+}

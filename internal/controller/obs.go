@@ -20,6 +20,8 @@ type ctlObs struct {
 	removes            uint64
 	removeFailures     uint64
 	updates            uint64
+	resizes            uint64
+	resizeFailures     uint64
 	reconverges        uint64
 	reconvergeFailures uint64
 	ticks              uint64
@@ -63,6 +65,10 @@ func (o *ctlObs) registerCtl(reg *obs.Registry) {
 	reg.CounterFunc("newton_ctl_placement_updates_total",
 		"Placement delta applies (UpdatePlacement calls that committed).",
 		load(&o.updates))
+	reg.CounterFunc("newton_ctl_resizes_total",
+		"Width resizes by outcome.", load(&o.resizes), ok)
+	reg.CounterFunc("newton_ctl_resizes_total",
+		"Width resizes by outcome.", load(&o.resizeFailures), errL)
 	reg.CounterFunc("newton_ctl_reconverges_total",
 		"Reconverge passes by outcome.", load(&o.reconverges), ok)
 	reg.CounterFunc("newton_ctl_reconverges_total",

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestAdaptiveConvergence is the CI gate for the closed-loop accuracy
+// experiment: under the shifting Zipf workload the refiner must bring
+// the observed error bound back under the intent's tolerance within
+// the round budget after every phase shift, spend strictly less memory
+// than static worst-case provisioning, and never flap, re-deploy, or
+// mix provenance.
+func TestAdaptiveConvergence(t *testing.T) {
+	res := Adaptive(AdaptiveConfig{})
+	if !res.Passed() {
+		t.Fatalf("adaptive run failed:\n%s", res)
+	}
+	for ph, n := range res.ConvergedIn {
+		if n > res.ConvergeWithin {
+			t.Errorf("phase %s converged in %d rounds, budget %d", ph, n, res.ConvergeWithin)
+		}
+	}
+	if res.MemRatio >= 1 {
+		t.Errorf("mem ratio %.3f, want < 1 (adaptive must beat static worst-case)", res.MemRatio)
+	}
+	if res.Flaps != 0 {
+		t.Errorf("flaps = %d, want 0", res.Flaps)
+	}
+	if res.QIDChanges != 0 {
+		t.Errorf("qid changes = %d, want 0 (resizes must keep the deployment)", res.QIDChanges)
+	}
+	if res.ProvenanceMixups != 0 {
+		t.Errorf("provenance mixups = %d, want 0", res.ProvenanceMixups)
+	}
+	// The loop must actually adapt: at least one widen (frugal start is
+	// deliberately under-provisioned) and one narrow (the surge width
+	// is over-provisioned once calm returns).
+	if res.Widens == 0 || res.Narrows == 0 {
+		t.Errorf("widens=%d narrows=%d, want both nonzero", res.Widens, res.Narrows)
+	}
+	t.Logf("converged %v, mem ratio %.3f, resizes %d, final width %d",
+		res.ConvergedIn, res.MemRatio, res.Resizes, res.FinalWidth)
+}

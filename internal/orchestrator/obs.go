@@ -13,6 +13,7 @@ type orchObs struct {
 	admissions uint64
 	rejections uint64
 	deltas     uint64
+	resizes    uint64
 }
 
 func (o *orchObs) inc(p *uint64) { atomic.AddUint64(p, 1) }
@@ -30,4 +31,6 @@ func (o *Orchestrator) RegisterObs(reg *obs.Registry) {
 		"Per-plan intent rejections.", load(&o.obs.rejections))
 	reg.CounterFunc("newton_orch_deltas_applied_total",
 		"Deployment deltas committed by Apply.", load(&o.obs.deltas))
+	reg.CounterFunc("newton_orch_resizes_total",
+		"In-place width resizes committed by Apply.", load(&o.obs.resizes))
 }

@@ -38,6 +38,13 @@ type Intent struct {
 	// ladder); zero values default like scheduler.WidthLadder.
 	MinWidth, MaxWidth uint32
 
+	// Accuracy, when enabled, puts the width under closed-loop control:
+	// the intent starts frugal (MinWidth) and the Refiner widens or
+	// narrows it — within [MinWidth, MaxWidth] — to track the declared
+	// error budget against the observed stream. Disabled intents keep
+	// the static ladder-walk provisioning.
+	Accuracy query.Accuracy
+
 	// Edges names the switches originating the monitored traffic. Empty
 	// means every edge switch of the topology.
 	Edges []string
@@ -92,6 +99,10 @@ const (
 	// ActionRemove uninstalls a deployed query (intent withdrawn, or the
 	// replan rejected it).
 	ActionRemove
+	// ActionResize changes a deployed query's sketch width in place —
+	// same qid, same switches — via the controller's resize path, so
+	// consumers tracking the query survive the geometry change.
+	ActionResize
 )
 
 // String names the action as `newton-ctl plan` prints it.
@@ -103,6 +114,8 @@ func (a Action) String() string {
 		return "update"
 	case ActionRemove:
 		return "remove"
+	case ActionResize:
+		return "resize"
 	}
 	return fmt.Sprintf("action(%d)", int(a))
 }
@@ -112,7 +125,10 @@ func (a Action) String() string {
 type Delta struct {
 	Query  string
 	Action Action
-	QID    int // the deployed qid (update/remove)
+	QID    int // the deployed qid (update/remove/resize)
+
+	// FromWidth is the currently deployed width a resize moves away from.
+	FromWidth uint32
 
 	// Per-switch assignment movement for updates: partitions gained and
 	// lost by each switch. Unlisted switches are untouched.
@@ -123,8 +139,8 @@ type Delta struct {
 }
 
 // Diff is the typed plan-vs-deployed delta the operator inspects before
-// Apply commits it. Deltas are ordered removes, then updates, then
-// installs, so freed capacity is available to newcomers.
+// Apply commits it. Deltas are ordered removes, then resizes, then
+// updates, then installs, so freed capacity is available to newcomers.
 type Diff struct {
 	Deltas []Delta
 }
@@ -143,6 +159,8 @@ func (d Diff) String() string {
 		switch dl.Action {
 		case ActionRemove:
 			fmt.Fprintf(&b, " (qid %d)", dl.QID)
+		case ActionResize:
+			fmt.Fprintf(&b, " (qid %d) width %d -> %d", dl.QID, dl.FromWidth, dl.Target.Width)
 		case ActionInstall:
 			if dl.Target.Single {
 				fmt.Fprintf(&b, " width=%d on %s", dl.Target.Width, strings.Join(dl.Target.Targets, ","))
@@ -190,6 +208,16 @@ type Orchestrator struct {
 	drained  map[string]bool
 	deployed map[string]*deployedState
 
+	// widthCap is the refiner's per-query provisioning decision: the
+	// width the next plan should grant an accuracy-driven intent,
+	// clamped into the intent's [MinWidth, MaxWidth]. Absent means the
+	// intent is unrefined yet — accuracy-enabled intents then start
+	// frugal at MinWidth and grow only on observed error. The cap is
+	// persistent floor memory: a narrow survives replans, so a query
+	// narrowed for being over-provisioned does not snap back to max on
+	// the next converge.
+	widthCap map[string]uint32
+
 	obs orchObs
 }
 
@@ -212,7 +240,36 @@ func New(cfg Config, remote *controller.Remote) (*Orchestrator, error) {
 		cfg: cfg, remote: remote,
 		drained:  map[string]bool{},
 		deployed: map[string]*deployedState{},
+		widthCap: map[string]uint32{},
 	}, nil
+}
+
+// SetWidthCap pins the width the next plan grants query name (clamped
+// into its intent's ladder bounds). Zero clears the cap, returning the
+// intent to its default provisioning. The refiner is the intended
+// caller; operators can use it as a manual override.
+func (o *Orchestrator) SetWidthCap(name string, w uint32) {
+	o.mu.Lock()
+	if w == 0 {
+		delete(o.widthCap, name)
+	} else {
+		o.widthCap[name] = w
+	}
+	o.mu.Unlock()
+}
+
+// WidthCap returns the pinned width for a query name (0 when unset).
+func (o *Orchestrator) WidthCap(name string) uint32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.widthCap[name]
+}
+
+// Intents returns a copy of the current intent set.
+func (o *Orchestrator) Intents() []Intent {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Intent(nil), o.intents...)
 }
 
 // SetIntents replaces the intent set. The next Plan/Apply converges the
@@ -338,6 +395,15 @@ func (o *Orchestrator) planIntent(in Intent, trackers map[string]*scheduler.Trac
 		return qp
 	}
 	maxW := ladder[0]
+	if cap, ok := o.widthCap[in.Query.Name]; ok {
+		// The refiner (or an operator) pinned this query's width: bid for
+		// that rung, degrading below it only under capacity pressure.
+		ladder = capRungs(ladder, cap)
+	} else if in.Accuracy.Enabled() {
+		// Frugal start for unrefined accuracy intents: provision the
+		// narrowest rung and let observed error earn any width above it.
+		ladder = ladder[len(ladder)-1:]
+	}
 
 	edgeIDs, err := o.resolveEdges(in.Edges)
 	if err != nil {
@@ -385,6 +451,21 @@ func (o *Orchestrator) planIntent(in Intent, trackers map[string]*scheduler.Trac
 		qp.Reason = "does not fit at any acceptable width"
 	}
 	return qp
+}
+
+// capRungs restricts a ladder to the rungs at or below cap, keeping at
+// least the narrowest rung so a cap below the ladder floor still plans.
+func capRungs(ladder []uint32, cap uint32) []uint32 {
+	var out []uint32
+	for _, w := range ladder {
+		if w <= cap {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		return ladder[len(ladder)-1:]
+	}
+	return out
 }
 
 // resolveEdges maps intent edge names to topology IDs (all edge
@@ -501,7 +582,7 @@ func (o *Orchestrator) admitPartitioned(in Intent, w uint32, stages, stagesPer i
 
 // diff compares a plan against the recorded deployment.
 func (o *Orchestrator) diff(p *Plan) Diff {
-	var removes, updates, installs []Delta
+	var removes, resizes, updates, installs []Delta
 	seen := map[string]bool{}
 	for _, qp := range p.Queries {
 		name := qp.Intent.Query.Name
@@ -516,6 +597,12 @@ func (o *Orchestrator) diff(p *Plan) Diff {
 			installs = append(installs, Delta{Query: name, Action: ActionInstall, Target: qp})
 		case samePlan(cur.plan, qp):
 			// converged
+		case sameShapeIgnoringWidth(cur.plan, qp):
+			// Only the width moved: resize in place, keeping the qid.
+			resizes = append(resizes, Delta{
+				Query: name, Action: ActionResize, QID: cur.qid,
+				FromWidth: cur.plan.Width, Target: qp,
+			})
 		case !cur.plan.Single && !qp.Single &&
 			cur.plan.Width == qp.Width && cur.plan.M == qp.M:
 			add, drop := partsDelta(cur.plan.Parts, qp.Parts)
@@ -537,9 +624,17 @@ func (o *Orchestrator) diff(p *Plan) Diff {
 	sort.Slice(removes, func(i, j int) bool { return removes[i].Query < removes[j].Query })
 	var d Diff
 	d.Deltas = append(d.Deltas, removes...)
+	d.Deltas = append(d.Deltas, resizes...)
 	d.Deltas = append(d.Deltas, updates...)
 	d.Deltas = append(d.Deltas, installs...)
 	return d
+}
+
+// sameShapeIgnoringWidth reports whether a deployed plan matches its
+// target on everything but width — the in-place resize precondition.
+func sameShapeIgnoringWidth(a, b QueryPlan) bool {
+	a.Width = b.Width
+	return samePlan(a, b)
 }
 
 // samePlan reports whether a deployed query already matches its target.
@@ -630,6 +725,12 @@ func (o *Orchestrator) applyLocked(p *Plan, d Diff) error {
 				return fmt.Errorf("orchestrator: remove %s: %w", dl.Query, err)
 			}
 			delete(o.deployed, dl.Query)
+		case ActionResize:
+			if _, err := o.remote.ResizeWidth(dl.QID, dl.Target.Width); err != nil {
+				return fmt.Errorf("orchestrator: resize %s: %w", dl.Query, err)
+			}
+			o.deployed[dl.Query].plan = dl.Target
+			o.obs.inc(&o.obs.resizes)
 		case ActionUpdate:
 			if err := o.remote.UpdatePlacement(dl.QID, dl.Target.Parts); err != nil {
 				return fmt.Errorf("orchestrator: update %s: %w", dl.Query, err)

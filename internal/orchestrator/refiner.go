@@ -1,0 +1,382 @@
+// Closed-loop adaptive accuracy (the feedback half of the intent
+// pipeline): intents declare a tolerated error, the analyzer measures
+// the error its merged sketches actually admit, and the Refiner drives
+// the width ladder in reverse — widening queries whose observed bound
+// exceeds tolerance and narrowing over-provisioned ones — through the
+// controller's in-place resize, so the fleet converges to the cheapest
+// geometry that honors every intent instead of provisioning for the
+// worst case.
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/newton-net/newton/internal/scheduler"
+	"github.com/newton-net/newton/internal/telemetry"
+)
+
+// RefineFleet is the orchestrator surface the refiner drives.
+// *Orchestrator satisfies it; tests substitute fakes.
+type RefineFleet interface {
+	Intents() []Intent
+	Deployed() map[string]QueryPlan
+	QID(name string) int
+	SetWidthCap(name string, w uint32)
+	Converge() (*Plan, Diff, error)
+}
+
+// AccuracySource is the analyzer surface the refiner reads its error
+// feedback from. *telemetry.Service satisfies it.
+type AccuracySource interface {
+	LatestSettledEpoch(qid int) (uint32, bool)
+	ObservedAccuracy(qid int, epoch uint32, scale uint64) (telemetry.QueryAccuracy, bool)
+}
+
+// RefinerConfig tunes the hysteresis. Every epoch-valued knob counts
+// SETTLED epochs — merges with every contributor present and no width
+// transition — so wall-clock speed never changes the control behavior.
+type RefinerConfig struct {
+	// WidenAfter is how many consecutive settled epochs the observed
+	// error must exceed tolerance before the refiner widens. Low: an
+	// under-provisioned query is WRONG right now (widen-fast).
+	WidenAfter int
+	// NarrowAfter is how many consecutive settled epochs the query must
+	// look over-provisioned before the refiner narrows. High: narrowing
+	// merely saves memory, and a premature narrow flaps (narrow-slow).
+	NarrowAfter int
+	// NarrowMargin discounts the tolerance when judging a narrow: the
+	// predicted error at the next rung down must stay within
+	// NarrowMargin·MaxRelErr, leaving headroom for stream growth.
+	NarrowMargin float64
+	// CooldownEpochs is how many settled epochs after any resize the
+	// refiner ignores a query — the first post-resize epochs measure a
+	// half-filled sketch.
+	CooldownEpochs int
+	// FlapEpochs is the settled-epoch window within which a direction
+	// reversal (widen after narrow or vice versa) counts as a flap.
+	FlapEpochs int
+	// RejectHold is how long a rung the admission planner refused stays
+	// remembered: until it expires the refiner will not bid for that
+	// rung (or above) again, so a rejected widen cannot retry-storm.
+	RejectHold time.Duration
+	// Clock supplies wall time (for RejectHold expiry and event
+	// timestamps only — control decisions count epochs). Nil means
+	// time.Now; tests inject a fake.
+	Clock func() time.Time
+}
+
+func (c RefinerConfig) withDefaults() RefinerConfig {
+	if c.WidenAfter <= 0 {
+		c.WidenAfter = 2
+	}
+	if c.NarrowAfter <= 0 {
+		c.NarrowAfter = 6
+	}
+	if c.NarrowMargin <= 0 || c.NarrowMargin >= 1 {
+		c.NarrowMargin = 0.6
+	}
+	if c.CooldownEpochs <= 0 {
+		c.CooldownEpochs = 2
+	}
+	if c.FlapEpochs <= 0 {
+		c.FlapEpochs = 4
+	}
+	if c.RejectHold <= 0 {
+		c.RejectHold = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// RefineEvent is one control decision, for operators and tests.
+type RefineEvent struct {
+	Time     time.Time
+	Query    string
+	QID      int
+	Epoch    uint32
+	Action   string // "widen", "narrow", "reject", "flap"
+	From, To uint32
+	Observed float64
+	Target   float64
+}
+
+func (e RefineEvent) String() string {
+	return fmt.Sprintf("%-7s %s (qid %d, epoch %d) width %d -> %d (observed %.3g, target %.3g)",
+		e.Action, e.Query, e.QID, e.Epoch, e.From, e.To, e.Observed, e.Target)
+}
+
+// QueryRefineState is one query's control-loop snapshot.
+type QueryRefineState struct {
+	Query    string
+	QID      int
+	Width    uint32
+	Epoch    uint32
+	Observed float64
+	Target   float64
+	InBand   bool
+
+	OverRuns, UnderRuns      int
+	Widens, Narrows, Resizes int
+	Flaps                    int
+	Rejected                 uint32 // remembered refused rung (0 when none)
+	LastAction               string
+}
+
+// qState is the refiner's per-query hysteresis memory.
+type qState struct {
+	qid      int
+	hasEpoch bool
+	epoch    uint32 // last settled epoch processed
+	seq      int    // settled epochs processed
+
+	overRuns, underRuns int
+	cooldownUntil       int // seq until which observations are ignored
+	lastDir             int // +1 widen, -1 narrow
+	lastDirSeq          int
+
+	rejectedRung  uint32
+	rejectedUntil time.Time
+
+	widens, narrows, resizes, flaps int
+	observed, target                float64
+	width                           uint32
+	inBand                          bool
+	lastAction                      string
+}
+
+// Refiner closes the accuracy loop: Step reads each accuracy-enabled
+// intent's newest settled error estimate and, with hysteresis, resizes
+// the deployment through the fleet's width-cap + converge path.
+type Refiner struct {
+	cfg   RefinerConfig
+	fleet RefineFleet
+	src   AccuracySource
+
+	mu     sync.Mutex
+	states map[string]*qState
+}
+
+// NewRefiner builds the control loop over a fleet and its analyzer.
+func NewRefiner(fleet RefineFleet, src AccuracySource, cfg RefinerConfig) *Refiner {
+	return &Refiner{
+		cfg: cfg.withDefaults(), fleet: fleet, src: src,
+		states: map[string]*qState{},
+	}
+}
+
+// StepReport summarizes one control pass.
+type StepReport struct {
+	Examined int // accuracy-enabled intents with a new settled epoch
+	Events   []RefineEvent
+}
+
+// Step runs one control pass. Each accuracy-enabled, deployed intent is
+// examined only when the analyzer has a NEW settled epoch for it —
+// partial and width-transition epochs never drive a decision. Returns
+// the decisions taken; a converge error aborts the pass.
+func (r *Refiner) Step() (StepReport, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var rep StepReport
+	for _, in := range r.fleet.Intents() {
+		if !in.Accuracy.Enabled() || in.Query == nil {
+			continue
+		}
+		name := in.Query.Name
+		qid := r.fleet.QID(name)
+		if qid == 0 {
+			continue // not deployed (rejected, or not yet applied)
+		}
+		st := r.states[name]
+		if st == nil || st.qid != qid {
+			st = &qState{qid: qid}
+			r.states[name] = st
+		}
+		epoch, ok := r.src.LatestSettledEpoch(qid)
+		if !ok || (st.hasEpoch && epoch <= st.epoch) {
+			continue // no new settled evidence
+		}
+		scale := uint64(in.Query.Threshold())
+		qa, ok := r.src.ObservedAccuracy(qid, epoch, scale)
+		if !ok || qa.Partial || qa.Transition {
+			continue
+		}
+		st.hasEpoch, st.epoch = true, epoch
+		st.seq++
+		rep.Examined++
+
+		plan, deployed := r.fleet.Deployed()[name]
+		if !deployed {
+			continue
+		}
+		st.width = plan.Width
+		st.target = in.Accuracy.MaxRelErr
+		st.observed = qa.Observed()
+		st.inBand = st.observed <= st.target
+		if r.cfg.Clock().After(st.rejectedUntil) {
+			st.rejectedRung = 0
+		}
+		if st.seq <= st.cooldownUntil {
+			continue // sketch still refilling after the last resize
+		}
+
+		evs, err := r.controlLocked(st, in, name, qa, scale)
+		rep.Events = append(rep.Events, evs...)
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// controlLocked applies the hysteresis state machine to one query's
+// fresh observation and performs at most one resize.
+func (r *Refiner) controlLocked(st *qState, in Intent, name string, qa telemetry.QueryAccuracy, scale uint64) ([]RefineEvent, error) {
+	tol := in.Accuracy.MaxRelErr
+	w := st.width
+
+	if !st.inBand {
+		st.underRuns = 0
+		st.overRuns++
+		if st.overRuns < r.cfg.WidenAfter {
+			return nil, nil
+		}
+		// Widen-fast: jump straight to the rung the measured stream
+		// needs, never less than one rung up.
+		want, err := scheduler.WidthForTarget(tol, qa.StreamTotal, scale)
+		if err != nil {
+			return nil, err
+		}
+		if want <= w {
+			want = w * 2
+		}
+		want = scheduler.ClampToLadder(want, in.MinWidth, in.MaxWidth)
+		if st.rejectedRung != 0 && want >= st.rejectedRung {
+			// The planner refused this rung recently; bid just below it
+			// until the hold expires.
+			want = scheduler.ClampToLadder(st.rejectedRung/2, in.MinWidth, in.MaxWidth)
+		}
+		if want <= w {
+			st.lastAction = "at-max"
+			st.overRuns = 0 // nowhere to go; stop accumulating
+			return nil, nil
+		}
+		return r.resizeLocked(st, name, w, want, +1, qa)
+	}
+
+	// In band: is the NEXT rung down still comfortably inside tolerance?
+	st.overRuns = 0
+	down := scheduler.ClampToLadder(w/2, in.MinWidth, in.MaxWidth)
+	if down >= w || qa.PredictedAtWidth(down) > r.cfg.NarrowMargin*tol {
+		st.underRuns = 0
+		return nil, nil
+	}
+	st.underRuns++
+	if st.underRuns < r.cfg.NarrowAfter {
+		return nil, nil
+	}
+	// Narrow-slow: one rung at a time.
+	return r.resizeLocked(st, name, w, down, -1, qa)
+}
+
+// resizeLocked commits one resize decision through the fleet: pin the
+// width cap, converge, and read back what the planner actually granted.
+// A grant below the bid is recorded as a rejection (with RejectHold) so
+// the refiner stops bidding for capacity the fleet does not have.
+func (r *Refiner) resizeLocked(st *qState, name string, from, want uint32, dir int, qa telemetry.QueryAccuracy) ([]RefineEvent, error) {
+	now := r.cfg.Clock()
+	var evs []RefineEvent
+	ev := func(action string, to uint32) {
+		evs = append(evs, RefineEvent{
+			Time: now, Query: name, QID: st.qid, Epoch: st.epoch,
+			Action: action, From: from, To: to,
+			Observed: st.observed, Target: st.target,
+		})
+	}
+
+	if st.lastDir != 0 && dir != st.lastDir && st.seq-st.lastDirSeq <= r.cfg.FlapEpochs {
+		// Direction reversal inside the flap window: the hysteresis
+		// failed to damp an oscillation. Count it loudly — the
+		// convergence gate asserts zero — but still obey the controller.
+		st.flaps++
+		ev("flap", want)
+	}
+
+	r.fleet.SetWidthCap(name, want)
+	if _, _, err := r.fleet.Converge(); err != nil {
+		return evs, fmt.Errorf("refiner: converge %s to width %d: %w", name, want, err)
+	}
+	granted := want
+	if plan, ok := r.fleet.Deployed()[name]; ok {
+		granted = plan.Width
+	}
+	if granted != want {
+		// The planner degraded (or refused) the bid: remember the rung
+		// so the next pass does not retry it until the hold expires, and
+		// pin the cap at what the fleet actually holds.
+		st.rejectedRung = want
+		st.rejectedUntil = now.Add(r.cfg.RejectHold)
+		r.fleet.SetWidthCap(name, granted)
+		ev("reject", granted)
+	}
+	if granted != from {
+		st.resizes++
+		if granted > from {
+			st.widens++
+			st.lastAction = "widen"
+			ev("widen", granted)
+		} else {
+			st.narrows++
+			st.lastAction = "narrow"
+			ev("narrow", granted)
+		}
+		st.lastDir, st.lastDirSeq = dir, st.seq
+		st.cooldownUntil = st.seq + r.cfg.CooldownEpochs
+		st.width = granted
+	}
+	st.overRuns, st.underRuns = 0, 0
+	return evs, nil
+}
+
+// Run drives Step on a fixed interval until stop closes.
+func (r *Refiner) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			r.Step() // converge errors surface in the next operator Step
+		}
+	}
+}
+
+// States returns every tracked query's control-loop snapshot, sorted by
+// query name.
+func (r *Refiner) States() []QueryRefineState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.states))
+	for n := range r.states {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]QueryRefineState, 0, len(names))
+	for _, n := range names {
+		st := r.states[n]
+		out = append(out, QueryRefineState{
+			Query: n, QID: st.qid, Width: st.width, Epoch: st.epoch,
+			Observed: st.observed, Target: st.target, InBand: st.inBand,
+			OverRuns: st.overRuns, UnderRuns: st.underRuns,
+			Widens: st.widens, Narrows: st.narrows, Resizes: st.resizes,
+			Flaps: st.flaps, Rejected: st.rejectedRung, LastAction: st.lastAction,
+		})
+	}
+	return out
+}

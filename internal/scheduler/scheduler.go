@@ -20,6 +20,7 @@ import (
 	"github.com/newton-net/newton/internal/compiler"
 	"github.com/newton-net/newton/internal/modules"
 	"github.com/newton-net/newton/internal/query"
+	"github.com/newton-net/newton/internal/sketch"
 )
 
 // Request is one query the operator wants deployed.
@@ -52,6 +53,13 @@ type Budget struct {
 // DefaultClassifierPreds bounds the classifier's predicate population
 // comfortably below the compile budget for a 6-column table.
 const DefaultClassifierPreds = 4096
+
+// DefaultMinWidth and DefaultMaxWidth are the accuracy ladder's bounds
+// when a request leaves them zero.
+const (
+	DefaultMinWidth uint32 = 256
+	DefaultMaxWidth uint32 = 4096
+)
 
 // DefaultBudget mirrors the evaluation's device: 12 stages, 4096
 // registers per bank, 256 rules per module.
@@ -98,10 +106,10 @@ func (b Budget) ClassifierPredCap() int {
 // rejected rather than silently producing an empty ladder.
 func WidthLadder(minW, maxW uint32) ([]uint32, error) {
 	if minW == 0 {
-		minW = 256
+		minW = DefaultMinWidth
 	}
 	if maxW == 0 {
-		maxW = 4096
+		maxW = DefaultMaxWidth
 	}
 	if maxW < minW {
 		return nil, fmt.Errorf("scheduler: inverted width bounds (min %d > max %d)", minW, maxW)
@@ -117,6 +125,45 @@ func WidthLadder(minW, maxW uint32) ([]uint32, error) {
 		ladder = append(ladder, minW)
 	}
 	return ladder, nil
+}
+
+// WidthForTarget walks the ladder in reverse: the narrowest row width
+// whose Count-Min bound ε·N = (e/width)·N stays within maxRelErr·scale
+// for the observed stream total. Scale is the query's decision scale —
+// its report threshold when it has one, otherwise the stream total
+// itself (zero scale defaults to streamTotal). This is how the refiner
+// turns an intent-declared accuracy plus a measured N into a rung
+// request, instead of always bidding for capacity.
+func WidthForTarget(maxRelErr float64, streamTotal, scale uint64) (uint32, error) {
+	if maxRelErr <= 0 || maxRelErr >= 1 {
+		return 0, fmt.Errorf("scheduler: target relative error %g outside (0, 1)", maxRelErr)
+	}
+	if scale == 0 {
+		scale = streamTotal
+	}
+	if streamTotal == 0 {
+		return 1, nil // empty stream: any width meets any target
+	}
+	return sketch.CMSWidthFor(streamTotal, maxRelErr*float64(scale)), nil
+}
+
+// ClampToLadder snaps a requested width into [minW, maxW] (zero bounds
+// defaulting like WidthLadder), preserving the request when it already
+// lies inside.
+func ClampToLadder(w, minW, maxW uint32) uint32 {
+	if minW == 0 {
+		minW = DefaultMinWidth
+	}
+	if maxW == 0 {
+		maxW = DefaultMaxWidth
+	}
+	if w < minW {
+		return minW
+	}
+	if w > maxW {
+		return maxW
+	}
+	return w
 }
 
 // Tracker accumulates admitted programs' footprints against one

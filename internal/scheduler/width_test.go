@@ -1,0 +1,53 @@
+package scheduler
+
+import (
+	"testing"
+)
+
+// TestWidthForTargetRungs checks the reverse walk: targets plus
+// observed stream totals map to the narrowest sufficient rung.
+func TestWidthForTargetRungs(t *testing.T) {
+	cases := []struct {
+		name     string
+		relErr   float64
+		n, scale uint64
+		want     uint32
+		wantErr  bool
+	}{
+		{"calm load at threshold scale", 0.25, 2000, 50, 512, false},
+		{"surge widens", 0.25, 12000, 50, 4096, false},
+		{"tighter target widens", 0.05, 2000, 50, 4096, false},
+		{"scale defaults to N", 0.25, 2000, 0, 16, false}, // e/0.25 = 10.9 -> 16
+		{"empty stream", 0.25, 0, 50, 1, false},
+		{"zero target", 0, 1000, 50, 0, true},
+		{"target at 1", 1, 1000, 50, 0, true},
+	}
+	for _, c := range cases {
+		got, err := WidthForTarget(c.relErr, c.n, c.scale)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", c.name, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("%s: WidthForTarget(%g, %d, %d) = %d, want %d",
+				c.name, c.relErr, c.n, c.scale, got, c.want)
+		}
+	}
+}
+
+func TestClampToLadder(t *testing.T) {
+	cases := []struct {
+		w, minW, maxW, want uint32
+	}{
+		{100, 256, 4096, 256},
+		{8192, 256, 4096, 4096},
+		{1024, 256, 4096, 1024},
+		{1, 0, 0, DefaultMinWidth},
+		{1 << 20, 0, 0, DefaultMaxWidth},
+	}
+	for _, c := range cases {
+		if got := ClampToLadder(c.w, c.minW, c.maxW); got != c.want {
+			t.Errorf("ClampToLadder(%d, %d, %d) = %d, want %d", c.w, c.minW, c.maxW, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"math"
+
+	"github.com/newton-net/newton/internal/modules"
+	"github.com/newton-net/newton/internal/sketch"
+)
+
+// QueryAccuracy is the analyzer's per-epoch estimate of how wrong a
+// query's merged answer can be, derived from the merged bank geometry
+// and the measured stream total — the feedback signal the refiner
+// closes the loop on. All bounds are computed over the NETWORK-WIDE
+// merge: the Count-Min guarantee ε·N holds for the summed rows with N
+// the total stream across every contributing switch, never a single
+// contributor's share.
+type QueryAccuracy struct {
+	Epoch uint32
+
+	// StreamTotal is the measured N of the merged stream: the largest
+	// per-row counter sum across the query's Count-Min banks (every row
+	// of a sketch counts each update exactly once, so any row's sum is
+	// the update total; max is robust to rows from narrower shards).
+	StreamTotal uint64
+
+	// Scale is the denominator RelErr was computed against: the
+	// caller-supplied decision scale (a report threshold, typically),
+	// or StreamTotal itself when the caller passed zero.
+	Scale uint64
+
+	// Count-Min bound of the weakest merged row group: with probability
+	// 1-Delta every point estimate overcounts by at most AbsErr =
+	// Eps·StreamTotal, i.e. RelErr = AbsErr/Scale.
+	Eps     float64
+	Delta   float64
+	AbsErr  float64
+	RelErr  float64
+	Width   uint32 // narrowest merged Count-Min row width
+	CMSRows int    // rows in the weakest Count-Min group
+
+	// FPP is the worst distinct-filter false-positive probability across
+	// the query's Bloom groups, estimated from the merged fill ratios:
+	// a lookup passes a row with probability ≈ its fraction of set
+	// slots, and must pass every row.
+	FPP       float64
+	BloomRows int
+
+	// Partial and Transition mirror EpochStatus: the estimate is
+	// advisory when contributors are missing or the epoch straddles a
+	// width resize, and the refiner must not act on it.
+	Partial    bool
+	Transition bool
+
+	bloomFills []float64 // worst group's per-row fills, for prediction
+}
+
+// Observed is the single figure the refiner compares against an
+// intent's MaxRelErr: the worse of the Count-Min relative error and the
+// distinct-filter false-positive probability.
+func (qa QueryAccuracy) Observed() float64 {
+	return math.Max(qa.RelErr, qa.FPP)
+}
+
+// PredictedAtWidth projects the observed error onto a hypothetical row
+// width w, assuming the same stream: Count-Min error scales inversely
+// with width, and each Bloom row's fill ratio scales inversely with
+// width (capped at saturation). Used by the refiner to decide whether a
+// narrower deployment would still meet its target before paying for the
+// resize.
+func (qa QueryAccuracy) PredictedAtWidth(w uint32) float64 {
+	if w == 0 {
+		return math.Inf(1)
+	}
+	var rel float64
+	if qa.Width > 0 {
+		rel = qa.RelErr * float64(qa.Width) / float64(w)
+	}
+	fpp := 0.0
+	if len(qa.bloomFills) > 0 && qa.Width > 0 {
+		factor := float64(qa.Width) / float64(w)
+		fpp = 1.0
+		for _, f := range qa.bloomFills {
+			fpp *= math.Min(1, f*factor)
+		}
+	}
+	return math.Max(rel, fpp)
+}
+
+// groupKey buckets a query's merged banks into independent sketch
+// instances: one Count-Min (or one Bloom filter) per query partition
+// and plan branch, whose rows share a width and count the same stream.
+type groupKey struct{ part, branch int }
+
+// ObservedAccuracy computes the error estimate for query qid at epoch
+// from the merged banks. scale is the decision denominator for RelErr
+// (a report threshold); zero means "relative to the stream total". The
+// second return is false when no merged banks exist for (qid, epoch).
+func (s *Service) ObservedAccuracy(qid int, epoch uint32, scale uint64) (QueryAccuracy, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	type cmsGroup struct {
+		n     uint64 // max per-row counter sum = merged stream total
+		width uint32 // narrowest row
+		rows  int
+	}
+	cms := map[groupKey]*cmsGroup{}
+	bloom := map[groupKey][]float64{}
+
+	found := false
+	for bk, byEpoch := range s.merged {
+		if bk.qid != qid {
+			continue
+		}
+		m, ok := byEpoch[epoch]
+		if !ok {
+			continue
+		}
+		found = true
+		gk := groupKey{bk.part, bk.branch}
+		switch m.Kind {
+		case modules.BankCMSRow:
+			var sum uint64
+			for _, v := range m.Values {
+				sum += v
+			}
+			g := cms[gk]
+			if g == nil {
+				g = &cmsGroup{width: m.Width}
+				cms[gk] = g
+			}
+			g.rows++
+			if sum > g.n {
+				g.n = sum
+			}
+			if m.Width < g.width {
+				g.width = m.Width
+			}
+		case modules.BankBloomRow:
+			nonzero := 0
+			for _, v := range m.Values {
+				if v != 0 {
+					nonzero++
+				}
+			}
+			bloom[gk] = append(bloom[gk], sketch.BloomRowFill(nonzero, m.Width))
+		}
+	}
+	if !found {
+		return QueryAccuracy{}, false
+	}
+
+	qa := QueryAccuracy{Epoch: epoch}
+	for _, g := range cms {
+		if g.n > qa.StreamTotal {
+			qa.StreamTotal = g.n
+		}
+		abs := sketch.CMSAbsError(g.width, g.n)
+		if abs > qa.AbsErr || qa.Width == 0 {
+			qa.AbsErr = abs
+			qa.Width = g.width
+			qa.CMSRows = g.rows
+			qa.Eps = math.E / float64(g.width)
+			qa.Delta = math.Exp(-float64(g.rows))
+		}
+	}
+	for _, fills := range bloom {
+		fpp := sketch.BloomFPPFromFills(fills)
+		if fpp > qa.FPP || qa.BloomRows == 0 {
+			qa.FPP = fpp
+			qa.BloomRows = len(fills)
+			qa.bloomFills = append([]float64(nil), fills...)
+		}
+	}
+
+	qa.Scale = scale
+	if qa.Scale == 0 {
+		qa.Scale = qa.StreamTotal
+	}
+	if qa.Scale > 0 {
+		qa.RelErr = qa.AbsErr / float64(qa.Scale)
+	}
+	qa.Partial = len(s.missingLocked(qid, epoch)) > 0
+	qa.Transition = s.transitionLocked(qid, epoch)
+	qa.Partial = qa.Partial || qa.Transition
+	return qa, true
+}
+
+// LatestSettledEpoch returns the newest epoch of query qid whose merge
+// is settled — every expected contributor delivered and the epoch does
+// not straddle a width resize — so the refiner only ever acts on
+// complete evidence. The second return is false when no such epoch
+// exists yet.
+func (s *Service) LatestSettledEpoch(qid int) (uint32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var best uint32
+	ok := false
+	seen := map[uint32]bool{}
+	for bk, byEpoch := range s.merged {
+		if bk.qid != qid {
+			continue
+		}
+		for epoch := range byEpoch {
+			if seen[epoch] {
+				continue
+			}
+			seen[epoch] = true
+			if len(s.missingLocked(qid, epoch)) > 0 || s.transitionLocked(qid, epoch) {
+				continue
+			}
+			if !ok || epoch > best {
+				best, ok = epoch, true
+			}
+		}
+	}
+	return best, ok
+}

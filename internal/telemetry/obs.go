@@ -116,6 +116,12 @@ func (s *Service) RegisterObs(reg *obs.Registry) {
 	reg.CounterFunc("newton_analyzer_chain_breaks_total",
 		"Delta snapshots dropped for a missing base epoch (resynced at next keyframe).",
 		stat(func(st ServiceStats) uint64 { return st.ChainBreaks }))
+	reg.CounterFunc("newton_analyzer_width_transitions_total",
+		"Epochs flagged as straddling a sketch width resize.",
+		stat(func(st ServiceStats) uint64 { return st.WidthTransitions }))
+	reg.CounterFunc("newton_analyzer_geometry_conflicts_total",
+		"Same-epoch bank geometry conflicts resolved by replacement.",
+		stat(func(st ServiceStats) uint64 { return st.GeometryConflicts }))
 	reg.GaugeFunc("newton_analyzer_dedup_keys",
 		"Alert-dedup keys resident (bounded by KeepAlertWindows compaction).",
 		func() float64 { return float64(s.Stats().DedupKeys) })

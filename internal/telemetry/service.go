@@ -77,6 +77,12 @@ type MergedBank struct {
 	// treat it as a lower bound, never as the network-wide truth.
 	Partial bool
 	Missing []string
+
+	// Transition marks an epoch whose banks straddle a width resize:
+	// the query's switches restarted with empty banks mid-window (or
+	// two geometries reached the same epoch), so the merge undercounts
+	// and is flagged Partial even with every contributor present.
+	Transition bool
 }
 
 // slot computes the key's index in the merged row, replaying the
@@ -209,12 +215,22 @@ type Service struct {
 	qEpoch        map[int]uint32
 	partialEpochs uint64
 
-	totalReports   uint64
-	dupAlerts      uint64
-	totalSnapshots uint64
-	subDropped     uint64
-	reconnects     uint64
-	epochGaps      uint64
+	// Width-transition bookkeeping (NoteResize): a resized query's
+	// agents restart with empty banks mid-window, so the first epoch
+	// merged after the resize mixes pre- and post-resize traffic and
+	// must read Partial. resizePending marks queries whose transition
+	// epoch has not arrived yet; transition records the flagged epochs.
+	resizePending map[int]bool
+	transition    map[int]map[uint32]bool
+
+	totalReports     uint64
+	dupAlerts        uint64
+	totalSnapshots   uint64
+	subDropped       uint64
+	reconnects       uint64
+	epochGaps        uint64
+	widthTransitions uint64
+	geomConflicts    uint64
 }
 
 // NewService builds an analyzer service.
@@ -231,6 +247,8 @@ func NewService(cfg ServiceConfig) *Service {
 		seenCompactAt: minSeenCompact,
 		subs:          map[int]chan Event{},
 		qEpoch:        map[int]uint32{},
+		resizePending: map[int]bool{},
+		transition:    map[int]map[uint32]bool{},
 	}
 }
 
@@ -568,6 +586,13 @@ func (s *Service) ingestSnapshot(agent *agentInfo, switchID string, epoch uint32
 			}
 			s.qEpoch[qid] = epoch
 		}
+		// A controller-announced resize lands on the first snapshot at
+		// the query's epoch frontier: that epoch's banks filled from
+		// mid-window restarts and must carry Partial provenance.
+		if s.resizePending[qid] && epoch == s.qEpoch[qid] {
+			delete(s.resizePending, qid)
+			s.markTransitionLocked(qid, epoch)
+		}
 	}
 	for i := range banks {
 		b := &banks[i]
@@ -586,18 +611,32 @@ func (s *Service) ingestSnapshot(agent *agentInfo, switchID string, epoch uint32
 			}
 			byEpoch[epoch] = m
 		}
-		if len(b.Values) == len(m.Values) {
-			if b.Kind == modules.BankBloomRow {
-				for j, v := range b.Values {
-					m.Values[j] |= uint64(v)
-				}
-			} else {
-				for j, v := range b.Values {
-					m.Values[j] += uint64(v)
-				}
+		if len(b.Values) != len(m.Values) {
+			// Geometry conflict: a mid-window width change put two bank
+			// shapes into the same epoch. Merging them would silently mix
+			// widths, and the old silent skip hid the gap entirely —
+			// instead the later geometry replaces the resident one and
+			// the epoch is flagged as a width transition, so provenance
+			// says exactly why the merge cannot be trusted.
+			s.geomConflicts++
+			s.markTransitionLocked(b.QueryID, epoch)
+			m = &MergedBank{
+				Kind: b.Kind, Algo: b.Algo, Seed: b.Seed, Range: b.Range,
+				KeyMask: b.KeyMask, Width: b.Width,
+				Values: make([]uint64, len(b.Values)),
 			}
-			m.Switches = append(m.Switches, switchID)
+			byEpoch[epoch] = m
 		}
+		if b.Kind == modules.BankBloomRow {
+			for j, v := range b.Values {
+				m.Values[j] |= uint64(v)
+			}
+		} else {
+			for j, v := range b.Values {
+				m.Values[j] += uint64(v)
+			}
+		}
+		m.Switches = append(m.Switches, switchID)
 		s.pruneLocked(bk, byEpoch)
 	}
 	s.publishLocked([]Event{{
@@ -665,6 +704,8 @@ func (s *Service) SetExpected(qid int, switches []string) {
 		delete(s.pinned, qid)
 		delete(s.contrib, qid)
 		delete(s.qEpoch, qid)
+		delete(s.resizePending, qid)
+		delete(s.transition, qid)
 		for bk := range s.merged {
 			if bk.qid == qid {
 				delete(s.merged, bk)
@@ -678,6 +719,48 @@ func (s *Service) SetExpected(qid int, switches []string) {
 	}
 	s.expected[qid] = exp
 	s.pinned[qid] = true
+}
+
+// NoteResize tells the analyzer that query qid's deployment was just
+// reinstalled at a new sketch width with the same qid (the controller
+// calls it from ResizeWidth, right before re-pinning SetExpected). The
+// next snapshot at the query's epoch frontier marks that epoch as a
+// width transition: its banks filled from mid-window restarts, so the
+// merge reads Partial and provenance never silently mixes widths.
+func (s *Service) NoteResize(qid int) {
+	s.mu.Lock()
+	s.resizePending[qid] = true
+	s.mu.Unlock()
+}
+
+// markTransitionLocked flags (qid, epoch) as a width transition,
+// bounding the per-query set like the merged banks.
+func (s *Service) markTransitionLocked(qid int, epoch uint32) {
+	set := s.transition[qid]
+	if set == nil {
+		set = map[uint32]bool{}
+		s.transition[qid] = set
+	}
+	if set[epoch] {
+		return
+	}
+	set[epoch] = true
+	s.widthTransitions++
+	if len(set) > s.cfg.KeepEpochs {
+		eps := make([]uint32, 0, len(set))
+		for e := range set {
+			eps = append(eps, e)
+		}
+		sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+		for _, e := range eps[:len(eps)-s.cfg.KeepEpochs] {
+			delete(set, e)
+		}
+	}
+}
+
+// transitionLocked reports whether (qid, epoch) straddles a resize.
+func (s *Service) transitionLocked(qid int, epoch uint32) bool {
+	return s.transition[qid][epoch]
 }
 
 // missingLocked returns the expected contributors of qid that delivered
@@ -700,13 +783,15 @@ func (s *Service) missingLocked(qid int, epoch uint32) []string {
 
 // EpochStatus reports whether the merged view of query qid at epoch is
 // complete: Partial is true when an expected switch contributed no
-// snapshot, with Missing naming them. Merged counts the switches that
-// did contribute.
+// snapshot (Missing naming them) or when the epoch straddles a width
+// resize — a transition epoch's banks filled from mid-window restarts,
+// so it undercounts even with every contributor present. Merged counts
+// the switches that did contribute.
 func (s *Service) EpochStatus(qid int, epoch uint32) (partial bool, missing []string, merged int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	missing = s.missingLocked(qid, epoch)
-	return len(missing) > 0, missing, len(s.contrib[qid][epoch])
+	return len(missing) > 0 || s.transitionLocked(qid, epoch), missing, len(s.contrib[qid][epoch])
 }
 
 // AgentLiveness reports when switch id's stream last produced a frame
@@ -854,10 +939,12 @@ func (s *Service) MergedRows(qid, branch int, epoch uint32) []*MergedBank {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].row < rows[j].row })
 	missing := s.missingLocked(qid, epoch)
+	transition := s.transitionLocked(qid, epoch)
 	out := make([]*MergedBank, len(rows))
 	for i, r := range rows {
-		r.m.Partial = len(missing) > 0
+		r.m.Partial = len(missing) > 0 || transition
 		r.m.Missing = missing
+		r.m.Transition = transition
 		out[i] = r.m
 	}
 	return out
@@ -886,6 +973,10 @@ type ServiceStats struct {
 	EpochGaps       uint64 // snapshot epochs skipped across all agents
 	PartialEpochs   uint64 // superseded (query, epoch) merges missing expected contributors
 
+	// Width-resize provenance accounting.
+	WidthTransitions  uint64 // epochs flagged as straddling a sketch resize
+	GeometryConflicts uint64 // snapshot banks whose shape conflicted with the resident merge
+
 	// Wire accounting aggregated across agents.
 	BinaryAgents int    // agents whose current/last stream negotiated the binary codec
 	WireBytes    uint64 // stream bytes ingested, frame headers included
@@ -901,15 +992,17 @@ func (s *Service) Stats() ServiceStats {
 	defer s.mu.Unlock()
 	live := 0
 	st := ServiceStats{
-		Agents:          len(s.agents),
-		Reports:         s.totalReports,
-		DuplicateAlerts: s.dupAlerts,
-		Snapshots:       s.totalSnapshots,
-		SubscriberDrops: s.subDropped,
-		Reconnects:      s.reconnects,
-		EpochGaps:       s.epochGaps,
-		PartialEpochs:   s.partialEpochs,
-		DedupKeys:       len(s.seen),
+		Agents:            len(s.agents),
+		Reports:           s.totalReports,
+		DuplicateAlerts:   s.dupAlerts,
+		Snapshots:         s.totalSnapshots,
+		SubscriberDrops:   s.subDropped,
+		Reconnects:        s.reconnects,
+		EpochGaps:         s.epochGaps,
+		PartialEpochs:     s.partialEpochs,
+		WidthTransitions:  s.widthTransitions,
+		GeometryConflicts: s.geomConflicts,
+		DedupKeys:         len(s.seen),
 	}
 	for _, a := range s.agents {
 		if a.Streams > 0 {
